@@ -1,0 +1,42 @@
+//! Criterion benchmarks for the compiler passes themselves: register-interval
+//! formation (Algorithms 1 and 2), strand formation, and liveness analysis
+//! over the full evaluated suite.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use ltrf_compiler::{compile, CompilerOptions};
+use ltrf_workloads::evaluated_suite;
+
+fn bench_compiler(c: &mut Criterion) {
+    let suite = evaluated_suite();
+    let mut group = c.benchmark_group("compiler");
+    group.bench_function("register_intervals_full_suite", |b| {
+        b.iter(|| {
+            for w in &suite {
+                let compiled = compile(&w.kernel, &CompilerOptions::default()).unwrap();
+                std::hint::black_box(compiled.stats.interval_count);
+            }
+        });
+    });
+    group.bench_function("strands_full_suite", |b| {
+        b.iter(|| {
+            for w in &suite {
+                let compiled =
+                    compile(&w.kernel, &CompilerOptions::default().with_strands()).unwrap();
+                std::hint::black_box(compiled.stats.interval_count);
+            }
+        });
+    });
+    group.bench_function("liveness_full_suite", |b| {
+        b.iter(|| {
+            for w in &suite {
+                let liveness = ltrf_compiler::Liveness::analyze(&w.kernel);
+                std::hint::black_box(liveness.peak_block_pressure());
+            }
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_compiler);
+criterion_main!(benches);

@@ -1,0 +1,33 @@
+//! Criterion wrapper for the Figure 11 latency-tolerance experiment, scoped
+//! to one workload and one organization so a benchmark iteration stays in the
+//! seconds range.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use ltrf_core::{latency_sweep, ExperimentConfig, Organization};
+use ltrf_workloads::by_name;
+
+fn bench_fig11(c: &mut Criterion) {
+    let workload = by_name("btree").expect("btree is in the suite");
+    let factors = [1.0, 4.0, 7.0];
+    let mut group = c.benchmark_group("fig11");
+    group.sample_size(10);
+    group.bench_function("ltrf_latency_sweep_btree", |b| {
+        b.iter(|| {
+            let sweep = latency_sweep(
+                &workload.kernel,
+                workload.memory(),
+                1,
+                Organization::Ltrf,
+                &factors,
+                &ExperimentConfig::new(Organization::Ltrf),
+            )
+            .unwrap();
+            std::hint::black_box(sweep.max_tolerable_latency(0.05))
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig11);
+criterion_main!(benches);

@@ -1,0 +1,27 @@
+//! Criterion wrapper for the Figure 14 scheme comparison, scoped to one
+//! workload and the three most interesting schemes.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use ltrf_core::{run_experiment, ExperimentConfig, Organization};
+use ltrf_workloads::by_name;
+
+fn bench_fig14(c: &mut Criterion) {
+    let workload = by_name("histo").expect("histo is in the suite");
+    let mut group = c.benchmark_group("fig14");
+    group.sample_size(10);
+    for org in [Organization::Rfc, Organization::LtrfStrand, Organization::Ltrf] {
+        group.bench_function(format!("histo_{}_at_6.3x", org.label()), |b| {
+            b.iter(|| {
+                let config = ExperimentConfig::new(org).with_latency_factor(6.3);
+                let result =
+                    run_experiment(&workload.kernel, workload.memory(), 1, &config).unwrap();
+                std::hint::black_box(result.ipc)
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig14);
+criterion_main!(benches);

@@ -1,0 +1,27 @@
+//! Criterion wrapper for the Figure 9 experiment: one workload under every
+//! organization on configuration #6.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use ltrf_core::{run_experiment, ExperimentConfig, Organization};
+use ltrf_workloads::by_name;
+
+fn bench_fig9(c: &mut Criterion) {
+    let workload = by_name("pathfinder").expect("pathfinder is in the suite");
+    let mut group = c.benchmark_group("fig9");
+    group.sample_size(10);
+    for &org in Organization::all() {
+        group.bench_function(format!("pathfinder_{}_config6", org.label()), |b| {
+            b.iter(|| {
+                let config = ExperimentConfig::for_table2(org, 6);
+                let result =
+                    run_experiment(&workload.kernel, workload.memory(), 1, &config).unwrap();
+                std::hint::black_box(result.ipc)
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig9);
+criterion_main!(benches);

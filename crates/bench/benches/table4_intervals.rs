@@ -1,0 +1,23 @@
+//! Criterion wrapper for the Table 4 register-interval length measurement
+//! over the quick suite (compiler + trace analysis only, no timing
+//! simulation).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use ltrf_bench::{table4, SuiteSelection};
+
+fn bench_table4(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table4");
+    group.sample_size(10);
+    group.bench_function("interval_lengths_quick_suite", |b| {
+        b.iter(|| {
+            let rows = table4(SuiteSelection::Quick);
+            assert_eq!(rows.len(), 4);
+            std::hint::black_box(rows)
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_table4);
+criterion_main!(benches);

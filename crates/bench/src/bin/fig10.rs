@@ -1,0 +1,30 @@
+//! Regenerates Figure 10: register-file power on configuration #7.
+
+use ltrf_bench::{figure10, format_table, mean, SuiteSelection};
+
+fn main() {
+    let rows = figure10(SuiteSelection::Full);
+    println!("Figure 10: register-file power on configuration #7 (DWM), normalized to baseline\n");
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.workload.to_string(),
+                if r.register_sensitive { "sensitive" } else { "insensitive" }.to_string(),
+                format!("{:.2}", r.rfc),
+                format!("{:.2}", r.ltrf),
+                format!("{:.2}", r.ltrf_plus),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        format_table(&["Workload", "Category", "RFC", "LTRF", "LTRF+"], &table)
+    );
+    println!(
+        "\nSuite averages: RFC {:.2}, LTRF {:.2}, LTRF+ {:.2} (paper: 0.65, 0.65, 0.54)",
+        mean(&rows.iter().map(|r| r.rfc).collect::<Vec<_>>()),
+        mean(&rows.iter().map(|r| r.ltrf).collect::<Vec<_>>()),
+        mean(&rows.iter().map(|r| r.ltrf_plus).collect::<Vec<_>>()),
+    );
+}

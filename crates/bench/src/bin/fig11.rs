@@ -1,0 +1,41 @@
+//! Regenerates Figure 11: maximum tolerable register-file access latency.
+
+use ltrf_bench::{figure11, format_table, mean, SuiteSelection};
+
+fn main() {
+    println!("Figure 11: maximum tolerable register-file access latency (5% IPC loss)\n");
+    let rows = figure11(SuiteSelection::Full, 0.05);
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.workload.to_string(),
+                format!("{:.1}x", r.bl),
+                format!("{:.1}x", r.rfc),
+                format!("{:.1}x", r.ltrf),
+                format!("{:.1}x", r.ltrf_plus),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        format_table(&["Workload", "BL", "RFC", "LTRF", "LTRF+"], &table)
+    );
+    println!(
+        "\nAverages at 5% loss: BL {:.1}x, RFC {:.1}x, LTRF {:.1}x, LTRF+ {:.1}x (paper: RFC 2.1x, LTRF 5.3x, LTRF+ 6.2x)",
+        mean(&rows.iter().map(|r| r.bl).collect::<Vec<_>>()),
+        mean(&rows.iter().map(|r| r.rfc).collect::<Vec<_>>()),
+        mean(&rows.iter().map(|r| r.ltrf).collect::<Vec<_>>()),
+        mean(&rows.iter().map(|r| r.ltrf_plus).collect::<Vec<_>>()),
+    );
+    for (loss, label) in [(0.01, "1%"), (0.10, "10%")] {
+        let rows = figure11(SuiteSelection::Full, loss);
+        println!(
+            "Averages at {label} loss: BL {:.1}x, RFC {:.1}x, LTRF {:.1}x, LTRF+ {:.1}x",
+            mean(&rows.iter().map(|r| r.bl).collect::<Vec<_>>()),
+            mean(&rows.iter().map(|r| r.rfc).collect::<Vec<_>>()),
+            mean(&rows.iter().map(|r| r.ltrf).collect::<Vec<_>>()),
+            mean(&rows.iter().map(|r| r.ltrf_plus).collect::<Vec<_>>()),
+        );
+    }
+}

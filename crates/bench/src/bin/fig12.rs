@@ -1,0 +1,26 @@
+//! Regenerates Figure 12: LTRF IPC vs. register-file latency for different
+//! register-interval sizes.
+
+use ltrf_bench::{figure12, format_table, SuiteSelection};
+
+fn main() {
+    println!("Figure 12: normalized IPC of LTRF vs. main register-file latency, by registers per interval\n");
+    let series = figure12(SuiteSelection::Full);
+    let factors: Vec<String> = series[0]
+        .points
+        .iter()
+        .map(|(f, _)| format!("{f:.0}x"))
+        .collect();
+    let mut header = vec!["Series"];
+    header.extend(factors.iter().map(String::as_str));
+    let rows: Vec<Vec<String>> = series
+        .iter()
+        .map(|s| {
+            let mut row = vec![s.label.clone()];
+            row.extend(s.points.iter().map(|(_, ipc)| format!("{ipc:.2}")));
+            row
+        })
+        .collect();
+    println!("{}", format_table(&header, &rows));
+    println!("Paper: 8 registers per interval degrades markedly; 16 and 32 behave similarly.");
+}

@@ -1,0 +1,26 @@
+//! Regenerates Figure 13: LTRF IPC vs. register-file latency for different
+//! active-warp counts.
+
+use ltrf_bench::{figure13, format_table, SuiteSelection};
+
+fn main() {
+    println!("Figure 13: normalized IPC of LTRF vs. main register-file latency, by active warps\n");
+    let series = figure13(SuiteSelection::Full);
+    let factors: Vec<String> = series[0]
+        .points
+        .iter()
+        .map(|(f, _)| format!("{f:.0}x"))
+        .collect();
+    let mut header = vec!["Series"];
+    header.extend(factors.iter().map(String::as_str));
+    let rows: Vec<Vec<String>> = series
+        .iter()
+        .map(|s| {
+            let mut row = vec![s.label.clone()];
+            row.extend(s.points.iter().map(|(_, ipc)| format!("{ipc:.2}")));
+            row
+        })
+        .collect();
+    println!("{}", format_table(&header, &rows));
+    println!("Paper: 4 active warps is not enough to hide a slow register file; 8 and 16 behave similarly.");
+}

@@ -1,0 +1,26 @@
+//! Regenerates Figure 14: IPC vs. register-file latency for BL, RFC, SHRF,
+//! LTRF (strand), and LTRF (register-interval).
+
+use ltrf_bench::{figure14, format_table, SuiteSelection};
+
+fn main() {
+    println!("Figure 14: normalized IPC vs. main register-file latency, by register-caching scheme\n");
+    let series = figure14(SuiteSelection::Full);
+    let factors: Vec<String> = series[0]
+        .points
+        .iter()
+        .map(|(f, _)| format!("{f:.0}x"))
+        .collect();
+    let mut header = vec!["Scheme"];
+    header.extend(factors.iter().map(String::as_str));
+    let rows: Vec<Vec<String>> = series
+        .iter()
+        .map(|s| {
+            let mut row = vec![s.label.clone()];
+            row.extend(s.points.iter().map(|(_, ipc)| format!("{ipc:.2}")));
+            row
+        })
+        .collect();
+    println!("{}", format_table(&header, &rows));
+    println!("Paper: SHRF ~ RFC (tolerates ~2x); LTRF with strands ~3x; LTRF with register-intervals ~5.3x.");
+}

@@ -1,0 +1,27 @@
+//! Regenerates Figure 2: on-chip memory capacity across GPU generations.
+
+use ltrf_bench::{figure2, format_table};
+
+fn main() {
+    println!("Figure 2: on-chip memory capacity across NVIDIA GPU generations\n");
+    let rows: Vec<Vec<String>> = figure2()
+        .iter()
+        .map(|g| {
+            vec![
+                format!("{} ({})", g.name, g.year),
+                format!("{:.2}", g.l1_and_shared_mb),
+                format!("{:.2}", g.l2_mb),
+                format!("{:.2}", g.register_file_mb),
+                format!("{:.2}", g.total_mb()),
+                format!("{:.0}%", g.register_file_share() * 100.0),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        format_table(
+            &["Generation", "L1D+Shared (MB)", "L2 (MB)", "Register file (MB)", "Total (MB)", "RF share"],
+            &rows
+        )
+    );
+}

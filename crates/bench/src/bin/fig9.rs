@@ -1,0 +1,48 @@
+//! Regenerates Figure 9: IPC of BL, RFC, LTRF, LTRF+, and Ideal on the 8×
+//! register-file configurations #6 and #7.
+
+use ltrf_bench::{figure9, format_table, mean, Fig9Row, SuiteSelection};
+
+fn print_config(config_id: u8, rows: &[Fig9Row]) {
+    println!("\nFigure 9{}: configuration #{config_id}, IPC normalized to baseline\n",
+        if config_id == 6 { 'a' } else { 'b' });
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.workload.to_string(),
+                if r.register_sensitive { "sensitive" } else { "insensitive" }.to_string(),
+                format!("{:.2}", r.bl),
+                format!("{:.2}", r.rfc),
+                format!("{:.2}", r.ltrf),
+                format!("{:.2}", r.ltrf_plus),
+                format!("{:.2}", r.ideal),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        format_table(
+            &["Workload", "Category", "BL", "RFC", "LTRF", "LTRF+", "Ideal"],
+            &table
+        )
+    );
+    let avg = |f: fn(&Fig9Row) -> f64| mean(&rows.iter().map(f).collect::<Vec<_>>());
+    println!(
+        "Averages: BL {:.2}, RFC {:.2}, LTRF {:.2}, LTRF+ {:.2}, Ideal {:.2}",
+        avg(|r| r.bl),
+        avg(|r| r.rfc),
+        avg(|r| r.ltrf),
+        avg(|r| r.ltrf_plus),
+        avg(|r| r.ideal)
+    );
+}
+
+fn main() {
+    println!("Figure 9: overall effect on GPU performance (8x register file)");
+    for config in [6u8, 7u8] {
+        let rows = figure9(SuiteSelection::Full, config);
+        print_config(config, &rows);
+    }
+    println!("\nPaper: LTRF ~1.32x and LTRF+ ~1.31x on average, within 5% of Ideal; RFC loses performance.");
+}

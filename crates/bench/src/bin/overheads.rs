@@ -1,0 +1,26 @@
+//! Prints the §4.3 overhead accounting.
+
+use ltrf_bench::{overheads, SuiteSelection};
+
+fn main() {
+    let report = overheads(SuiteSelection::Full);
+    println!("Section 4.3 overheads of LTRF\n");
+    println!(
+        "WCB storage               {} bits/warp, {} KB total ({:.1}% of the 256 KB register file; paper: ~5%)",
+        report.wcb.bits_per_warp,
+        report.wcb.total_bytes() / 1024,
+        report.wcb_fraction_of_regfile * 100.0
+    );
+    println!(
+        "Register-file cache       {:.1}% of the main register file capacity",
+        report.cache_fraction_of_regfile * 100.0
+    );
+    println!(
+        "Estimated area overhead   {:.0}% (paper: 16%)",
+        report.area_overhead * 100.0
+    );
+    println!(
+        "Code-size overhead        {:.1}% (paper: 7% embedded bit-vectors, 9% explicit instructions)",
+        report.code_size_overhead * 100.0
+    );
+}

@@ -1,0 +1,35 @@
+//! Regenerates Table 2: register-file design points.
+
+use ltrf_bench::{format_table, table2};
+
+fn main() {
+    println!("Table 2: register file configurations (calibrated | analytical model)\n");
+    let rows: Vec<Vec<String>> = table2()
+        .into_iter()
+        .map(|(c, est)| {
+            vec![
+                c.id.to_string(),
+                c.technology.to_string(),
+                format!("{}x", c.bank_count_factor),
+                format!("{}x", c.bank_size_factor),
+                c.network.to_string(),
+                format!("{}x", c.capacity_factor),
+                format!("{}x | {:.2}x", c.area_factor, est.area_factor),
+                format!("{}x | {:.2}x", c.power_factor, est.power_factor),
+                format!("{:.0}x", c.capacity_per_area()),
+                format!("{:.1}x", c.capacity_per_power()),
+                format!("{}x | {:.2}x", c.latency_factor, est.latency_factor),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        format_table(
+            &[
+                "Config", "Cell Tech", "#Banks", "Bank Size", "Network", "Cap.", "Area", "Power",
+                "Cap/Area", "Cap/Power", "Latency"
+            ],
+            &rows
+        )
+    );
+}

@@ -1,0 +1,33 @@
+//! Prints the simulated system configuration (Table 3).
+
+use ltrf_bench::table3;
+
+fn main() {
+    let c = table3();
+    println!("Table 3: simulated system configuration\n");
+    println!("Core clock                  {} MHz", c.core_clock_mhz);
+    println!("Scheduler                   Two-level ({} active warps)", c.active_warps);
+    println!("Warps per SM                {}", c.max_warps);
+    println!("Register file size          {} KB per SM", c.regfile_bytes / 1024);
+    println!("Register file cache size    {} KB per SM", c.regfile_cache_bytes / 1024);
+    println!("Shared memory size          {} KB per SM", c.shared_mem_bytes / 1024);
+    println!(
+        "L1D cache                   {}-way, {} KB, {} B lines",
+        c.memory.l1d_ways,
+        c.memory.l1d_bytes / 1024,
+        c.memory.line_bytes
+    );
+    println!(
+        "LLC                         {}-way, {} MB, {} B lines",
+        c.memory.llc_ways,
+        c.memory.llc_bytes / (1024 * 1024),
+        c.memory.line_bytes
+    );
+    println!(
+        "Memory model                {} GDDR5-like channels, FR-FCFS row-hit {} / row-miss {} cycles",
+        c.memory.dram_channels, c.memory.dram_row_hit_latency, c.memory.dram_row_miss_latency
+    );
+    println!("Registers per interval      {}", 16);
+    println!("Issue width                 {}", c.issue_width);
+    println!("Operand collectors          {}", c.operand_collectors);
+}

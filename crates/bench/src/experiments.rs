@@ -1,0 +1,569 @@
+//! One function per table and figure of the paper.
+
+use serde::Serialize;
+
+use ltrf_core::{
+    capacity_requirement, latency_sweep, overhead_report, paper_latency_factors, CapacityRequirement,
+    ExperimentConfig, GpuArchitecture, Organization, OverheadInputs, OverheadReport,
+};
+use ltrf_isa::RegisterSensitivity;
+use ltrf_sim::GpuConfig;
+use ltrf_tech::configs::RegFileConfig;
+use ltrf_tech::generations::{figure2_generations, GpuGeneration};
+use ltrf_workloads::{evaluated_suite, unconstrained_register_demands, Workload};
+
+/// Which part of the workload suite an experiment runs over.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SuiteSelection {
+    /// All fourteen evaluated workloads (the paper's configuration).
+    Full,
+    /// A four-workload subset (two register-sensitive, two insensitive) used
+    /// by unit tests and the Criterion benches to keep wall-clock time down.
+    Quick,
+}
+
+/// Returns the workloads selected by `selection`.
+#[must_use]
+pub fn suite(selection: SuiteSelection) -> Vec<Workload> {
+    let all = evaluated_suite();
+    match selection {
+        SuiteSelection::Full => all,
+        SuiteSelection::Quick => all
+            .into_iter()
+            .filter(|w| matches!(w.name(), "hotspot" | "pathfinder" | "btree" | "histo"))
+            .collect(),
+    }
+}
+
+/// Runs `f` over the workloads in parallel and collects the results in suite
+/// order.
+fn par_map<T, F>(workloads: &[Workload], f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(&Workload) -> T + Sync,
+{
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = workloads
+            .iter()
+            .map(|w| scope.spawn(|| f(w)))
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("experiment thread panicked")).collect()
+    })
+}
+
+/// Seed used by every experiment so results are reproducible run to run.
+const SEED: u64 = 0x17F2_2018;
+
+// ---------------------------------------------------------------------------
+// Table 1 — register-file capacity required for maximum TLP
+// ---------------------------------------------------------------------------
+
+/// One row of Table 1.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct Table1Row {
+    /// The architecture's capacity requirement summary.
+    pub requirement: CapacityRequirement,
+}
+
+/// Computes Table 1 over the 35-kernel screening suite's register demands.
+#[must_use]
+pub fn table1() -> Vec<Table1Row> {
+    let demands = unconstrained_register_demands();
+    [GpuArchitecture::fermi(), GpuArchitecture::maxwell()]
+        .into_iter()
+        .filter_map(|arch| capacity_requirement(arch, &demands))
+        .map(|requirement| Table1Row { requirement })
+        .collect()
+}
+
+// ---------------------------------------------------------------------------
+// Table 2 — register-file design points
+// ---------------------------------------------------------------------------
+
+/// Returns the seven Table 2 configurations together with the analytical
+/// model's estimate for each (so the binary can print both side by side).
+#[must_use]
+pub fn table2() -> Vec<(RegFileConfig, ltrf_tech::bank::BankEstimate)> {
+    RegFileConfig::table2()
+        .iter()
+        .map(|c| (*c, c.bank_model().estimate()))
+        .collect()
+}
+
+// ---------------------------------------------------------------------------
+// Table 3 — simulated system configuration
+// ---------------------------------------------------------------------------
+
+/// Returns the simulated system configuration (the reproduction of Table 3).
+#[must_use]
+pub fn table3() -> GpuConfig {
+    GpuConfig::default()
+}
+
+// ---------------------------------------------------------------------------
+// Table 4 — register-interval lengths
+// ---------------------------------------------------------------------------
+
+/// One workload's real and optimal register-interval lengths.
+#[derive(Debug, Clone, Copy, Serialize)]
+pub struct Table4Row {
+    /// Workload name.
+    pub workload: &'static str,
+    /// Lengths of the compiler-produced register-intervals.
+    pub report: ltrf_compiler::trace_analysis::IntervalLengthReport,
+}
+
+/// Measures real and optimal register-interval lengths (Table 4).
+#[must_use]
+pub fn table4(selection: SuiteSelection) -> Vec<Table4Row> {
+    let workloads = suite(selection);
+    par_map(&workloads, |w| {
+        let compiled =
+            ltrf_compiler::compile(&w.kernel, &ltrf_compiler::CompilerOptions::default())
+                .expect("suite kernels compile");
+        let report = ltrf_compiler::trace_analysis::interval_length_report(
+            &compiled.kernel,
+            &compiled.partition,
+            16,
+            SEED,
+        );
+        Table4Row {
+            workload: w.name(),
+            report,
+        }
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Figure 2 — on-chip memory across GPU generations
+// ---------------------------------------------------------------------------
+
+/// Returns the Figure 2 data series.
+#[must_use]
+pub fn figure2() -> &'static [GpuGeneration] {
+    figure2_generations()
+}
+
+// ---------------------------------------------------------------------------
+// Figure 3 — ideal vs. real 8× TFET-SRAM register file
+// ---------------------------------------------------------------------------
+
+/// One workload's Figure 3 result.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct Fig3Row {
+    /// Workload name.
+    pub workload: &'static str,
+    /// Whether the workload is register-sensitive.
+    pub register_sensitive: bool,
+    /// IPC of the ideal 8× register file, normalized to the baseline.
+    pub ideal_normalized_ipc: f64,
+    /// IPC of the real (5.3× latency) TFET-SRAM register file, normalized to
+    /// the baseline.
+    pub real_normalized_ipc: f64,
+}
+
+/// Runs the Figure 3 experiment: an 8× register file built from TFET SRAM
+/// (configuration #6), once with its real latency and once idealized.
+#[must_use]
+pub fn figure3(selection: SuiteSelection) -> Vec<Fig3Row> {
+    let workloads = suite(selection);
+    par_map(&workloads, |w| {
+        let ideal = ltrf_core::run_normalized(
+            &w.kernel,
+            w.memory(),
+            SEED,
+            &ExperimentConfig::for_table2(Organization::Ideal, 6),
+        )
+        .expect("ideal run");
+        let real = ltrf_core::run_normalized(
+            &w.kernel,
+            w.memory(),
+            SEED,
+            &ExperimentConfig::for_table2(Organization::Baseline, 6),
+        )
+        .expect("baseline run");
+        Fig3Row {
+            workload: w.name(),
+            register_sensitive: w.is_register_sensitive(),
+            ideal_normalized_ipc: ideal.normalized_ipc,
+            real_normalized_ipc: real.normalized_ipc,
+        }
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Figure 4 — register-cache hit rates
+// ---------------------------------------------------------------------------
+
+/// One workload's register-cache hit rates.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct Fig4Row {
+    /// Workload name.
+    pub workload: &'static str,
+    /// Whether the workload is register-sensitive.
+    pub register_sensitive: bool,
+    /// Hit rate of the hardware register-file cache.
+    pub hw_hit_rate: f64,
+    /// Hit rate of the software-managed (SHRF) cache.
+    pub sw_hit_rate: f64,
+    /// Hit rate of LTRF's prefetch-filled cache (for reference; the paper's
+    /// point is that the first two are low).
+    pub ltrf_hit_rate: f64,
+}
+
+/// Measures register-cache hit rates for RFC, SHRF, and LTRF (Figure 4).
+#[must_use]
+pub fn figure4(selection: SuiteSelection) -> Vec<Fig4Row> {
+    let workloads = suite(selection);
+    par_map(&workloads, |w| {
+        let hit = |org: Organization| {
+            ltrf_core::run_experiment(
+                &w.kernel,
+                w.memory(),
+                SEED,
+                &ExperimentConfig::for_table2(org, 1),
+            )
+            .expect("run")
+            .cache_hit_rate
+            .unwrap_or(0.0)
+        };
+        Fig4Row {
+            workload: w.name(),
+            register_sensitive: w.is_register_sensitive(),
+            hw_hit_rate: hit(Organization::Rfc),
+            sw_hit_rate: hit(Organization::Shrf),
+            ltrf_hit_rate: hit(Organization::Ltrf),
+        }
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Figure 9 — overall IPC on configurations #6 and #7
+// ---------------------------------------------------------------------------
+
+/// One workload's normalized IPC under every organization (Figure 9).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct Fig9Row {
+    /// Workload name.
+    pub workload: &'static str,
+    /// Whether the workload is register-sensitive.
+    pub register_sensitive: bool,
+    /// Normalized IPC of the conventional register file (BL).
+    pub bl: f64,
+    /// Normalized IPC of the hardware register cache (RFC).
+    pub rfc: f64,
+    /// Normalized IPC of LTRF.
+    pub ltrf: f64,
+    /// Normalized IPC of LTRF+.
+    pub ltrf_plus: f64,
+    /// Normalized IPC of the ideal register file.
+    pub ideal: f64,
+}
+
+/// Runs the Figure 9 experiment on Table 2 configuration `config_id`
+/// (6 for Figure 9a, 7 for Figure 9b).
+#[must_use]
+pub fn figure9(selection: SuiteSelection, config_id: u8) -> Vec<Fig9Row> {
+    let workloads = suite(selection);
+    par_map(&workloads, |w| {
+        let norm = |org: Organization| {
+            ltrf_core::run_normalized(
+                &w.kernel,
+                w.memory(),
+                SEED,
+                &ExperimentConfig::for_table2(org, config_id),
+            )
+            .expect("run")
+            .normalized_ipc
+        };
+        Fig9Row {
+            workload: w.name(),
+            register_sensitive: w.is_register_sensitive(),
+            bl: norm(Organization::Baseline),
+            rfc: norm(Organization::Rfc),
+            ltrf: norm(Organization::Ltrf),
+            ltrf_plus: norm(Organization::LtrfPlus),
+            ideal: norm(Organization::Ideal),
+        }
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Figure 10 — register-file power on configuration #7
+// ---------------------------------------------------------------------------
+
+/// One workload's normalized register-file power (Figure 10).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct Fig10Row {
+    /// Workload name.
+    pub workload: &'static str,
+    /// Whether the workload is register-sensitive.
+    pub register_sensitive: bool,
+    /// Normalized power of the hardware register cache.
+    pub rfc: f64,
+    /// Normalized power of LTRF.
+    pub ltrf: f64,
+    /// Normalized power of LTRF+.
+    pub ltrf_plus: f64,
+}
+
+/// Runs the Figure 10 power experiment on configuration #7 (DWM).
+#[must_use]
+pub fn figure10(selection: SuiteSelection) -> Vec<Fig10Row> {
+    let workloads = suite(selection);
+    par_map(&workloads, |w| {
+        let norm = |org: Organization| {
+            ltrf_core::run_normalized(
+                &w.kernel,
+                w.memory(),
+                SEED,
+                &ExperimentConfig::for_table2(org, 7),
+            )
+            .expect("run")
+            .normalized_power
+        };
+        Fig10Row {
+            workload: w.name(),
+            register_sensitive: w.is_register_sensitive(),
+            rfc: norm(Organization::Rfc),
+            ltrf: norm(Organization::Ltrf),
+            ltrf_plus: norm(Organization::LtrfPlus),
+        }
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Figure 11 — maximum tolerable register-file latency
+// ---------------------------------------------------------------------------
+
+/// One workload's maximum tolerable latency per organization (Figure 11).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct Fig11Row {
+    /// Workload name.
+    pub workload: &'static str,
+    /// Maximum tolerable latency of BL at 5% IPC loss.
+    pub bl: f64,
+    /// Maximum tolerable latency of RFC at 5% IPC loss.
+    pub rfc: f64,
+    /// Maximum tolerable latency of LTRF at 5% IPC loss.
+    pub ltrf: f64,
+    /// Maximum tolerable latency of LTRF+ at 5% IPC loss.
+    pub ltrf_plus: f64,
+}
+
+/// Runs the Figure 11 experiment with the given allowed IPC loss (the paper
+/// uses 5%, with 1% and 10% variants in the text).
+#[must_use]
+pub fn figure11(selection: SuiteSelection, allowed_loss: f64) -> Vec<Fig11Row> {
+    let workloads = suite(selection);
+    let factors = paper_latency_factors();
+    par_map(&workloads, |w| {
+        let tolerance = |org: Organization| {
+            latency_sweep(
+                &w.kernel,
+                w.memory(),
+                SEED,
+                org,
+                &factors,
+                &ExperimentConfig::new(org),
+            )
+            .expect("sweep")
+            .max_tolerable_latency(allowed_loss)
+        };
+        Fig11Row {
+            workload: w.name(),
+            bl: tolerance(Organization::Baseline),
+            rfc: tolerance(Organization::Rfc),
+            ltrf: tolerance(Organization::Ltrf),
+            ltrf_plus: tolerance(Organization::LtrfPlus),
+        }
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Figures 12–14 — latency sweeps over design parameters and schemes
+// ---------------------------------------------------------------------------
+
+/// A labelled IPC-vs-latency series averaged over the selected workloads.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct SweepSeries {
+    /// Series label (e.g. "16 regs", "8 warps", "LTRF (register-interval)").
+    pub label: String,
+    /// `(latency factor, mean normalized IPC)` points.
+    pub points: Vec<(f64, f64)>,
+}
+
+fn averaged_sweep(
+    workloads: &[Workload],
+    org: Organization,
+    base: &ExperimentConfig,
+    factors: &[f64],
+    label: String,
+) -> SweepSeries {
+    let sweeps = par_map(workloads, |w| {
+        latency_sweep(&w.kernel, w.memory(), SEED, org, factors, base).expect("sweep")
+    });
+    let points = factors
+        .iter()
+        .enumerate()
+        .map(|(i, &f)| {
+            let mean = sweeps.iter().map(|s| s.points[i].relative_ipc).sum::<f64>()
+                / sweeps.len().max(1) as f64;
+            (f, mean)
+        })
+        .collect();
+    SweepSeries { label, points }
+}
+
+/// Figure 12: LTRF IPC vs. main-register-file latency for 8/16/32 registers
+/// per register-interval.
+#[must_use]
+pub fn figure12(selection: SuiteSelection) -> Vec<SweepSeries> {
+    let workloads = suite(selection);
+    let factors = paper_latency_factors();
+    [8usize, 16, 32]
+        .into_iter()
+        .map(|n| {
+            let base = ExperimentConfig::new(Organization::Ltrf).with_registers_per_interval(n);
+            averaged_sweep(
+                &workloads,
+                Organization::Ltrf,
+                &base,
+                &factors,
+                format!("{n} regs"),
+            )
+        })
+        .collect()
+}
+
+/// Figure 13: LTRF IPC vs. main-register-file latency for 4/8/16 active
+/// warps.
+#[must_use]
+pub fn figure13(selection: SuiteSelection) -> Vec<SweepSeries> {
+    let workloads = suite(selection);
+    let factors = paper_latency_factors();
+    [4usize, 8, 16]
+        .into_iter()
+        .map(|warps| {
+            let base = ExperimentConfig::new(Organization::Ltrf).with_active_warps(warps);
+            averaged_sweep(
+                &workloads,
+                Organization::Ltrf,
+                &base,
+                &factors,
+                format!("{warps} warps"),
+            )
+        })
+        .collect()
+}
+
+/// Figure 14: IPC vs. main-register-file latency for BL, RFC, SHRF,
+/// LTRF (strand), and LTRF (register-interval).
+#[must_use]
+pub fn figure14(selection: SuiteSelection) -> Vec<SweepSeries> {
+    let workloads = suite(selection);
+    let factors = paper_latency_factors();
+    [
+        Organization::Baseline,
+        Organization::Rfc,
+        Organization::Shrf,
+        Organization::LtrfStrand,
+        Organization::Ltrf,
+    ]
+    .into_iter()
+    .map(|org| {
+        let base = ExperimentConfig::new(org);
+        averaged_sweep(&workloads, org, &base, &factors, org.label().to_string())
+    })
+    .collect()
+}
+
+// ---------------------------------------------------------------------------
+// §4.3 overheads
+// ---------------------------------------------------------------------------
+
+/// The §4.3 overhead report for the default SM configuration, using the mean
+/// code-size overhead of the selected workloads.
+#[must_use]
+pub fn overheads(selection: SuiteSelection) -> OverheadReport {
+    let workloads = suite(selection);
+    let stats = par_map(&workloads, |w| {
+        ltrf_compiler::compile(&w.kernel, &ltrf_compiler::CompilerOptions::default())
+            .expect("suite kernels compile")
+            .stats
+    });
+    let mean_code_size = stats.iter().map(|s| s.code_size_overhead).sum::<f64>()
+        / stats.len().max(1) as f64;
+    let mean_stats = ltrf_compiler::CompileStats {
+        code_size_overhead: mean_code_size,
+        ..ltrf_compiler::CompileStats::default()
+    };
+    overhead_report(&OverheadInputs::default(), Some(&mean_stats))
+}
+
+/// Splits rows by register sensitivity, used by several binaries for the
+/// per-category averages the paper reports.
+#[must_use]
+pub fn sensitivity_of(workload: &Workload) -> RegisterSensitivity {
+    if workload.is_register_sensitive() {
+        RegisterSensitivity::Sensitive
+    } else {
+        RegisterSensitivity::Insensitive
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_suite_is_a_strict_subset() {
+        let quick = suite(SuiteSelection::Quick);
+        let full = suite(SuiteSelection::Full);
+        assert_eq!(quick.len(), 4);
+        assert_eq!(full.len(), 14);
+        assert!(quick.iter().any(|w| w.is_register_sensitive()));
+        assert!(quick.iter().any(|w| !w.is_register_sensitive()));
+    }
+
+    #[test]
+    fn table1_reports_both_architectures() {
+        let rows = table1();
+        assert_eq!(rows.len(), 2);
+        // The Maxwell row must show a larger average requirement than its
+        // 256 KB baseline (the paper reports 2.3x).
+        let maxwell = &rows[1].requirement;
+        assert!(maxwell.average_factor() > 1.0);
+        assert!(maxwell.max_factor() >= maxwell.average_factor());
+    }
+
+    #[test]
+    fn table2_and_figure2_are_static_data() {
+        assert_eq!(table2().len(), 7);
+        assert_eq!(figure2().len(), 4);
+        assert_eq!(table3().max_warps, 64);
+    }
+
+    #[test]
+    fn table4_real_lengths_do_not_exceed_optimal() {
+        for row in table4(SuiteSelection::Quick) {
+            assert!(row.report.real.mean > 0.0, "{} has empty intervals", row.workload);
+            assert!(
+                row.report.real.mean <= row.report.optimal.mean * 1.01,
+                "{}: real {} > optimal {}",
+                row.workload,
+                row.report.real.mean,
+                row.report.optimal.mean
+            );
+        }
+    }
+
+    #[test]
+    fn overheads_are_in_the_paper_ballpark() {
+        let report = overheads(SuiteSelection::Quick);
+        assert!(report.area_overhead > 0.10 && report.area_overhead < 0.25);
+        // Synthetic kernels are short, so PREFETCH metadata weighs more than
+        // the paper's 7%; guard only against runaway interval counts.
+        assert!(report.code_size_overhead > 0.0 && report.code_size_overhead < 0.45);
+    }
+}

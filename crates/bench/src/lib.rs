@@ -1,0 +1,24 @@
+//! # ltrf-bench
+//!
+//! The evaluation harness of the LTRF reproduction: one function per table
+//! and figure of the paper, each returning structured rows that the
+//! corresponding binary (in `src/bin/`) prints in the paper's format and the
+//! Criterion benches exercise.
+//!
+//! Every experiment runs over the synthetic workload suite of
+//! `ltrf-workloads` on the cycle-level simulator of `ltrf-sim`, with the
+//! register-file organizations of `ltrf-core`. Absolute numbers therefore
+//! differ from the paper's GPGPU-Sim/testbed results; the quantities that are
+//! expected to reproduce are the *relative* ones — who wins, by roughly what
+//! factor, and where the crossover latencies fall. `EXPERIMENTS.md` records
+//! the comparison.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod experiments;
+pub mod report;
+
+pub use experiments::*;
+pub use report::{format_table, geometric_mean, mean};

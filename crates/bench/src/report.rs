@@ -1,0 +1,86 @@
+//! Small reporting helpers shared by the per-figure binaries.
+
+/// Arithmetic mean of a slice (0.0 for an empty slice).
+#[must_use]
+pub fn mean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        0.0
+    } else {
+        values.iter().sum::<f64>() / values.len() as f64
+    }
+}
+
+/// Geometric mean of a slice of positive values (0.0 for an empty slice).
+#[must_use]
+pub fn geometric_mean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    let log_sum: f64 = values.iter().map(|v| v.max(1e-12).ln()).sum();
+    (log_sum / values.len() as f64).exp()
+}
+
+/// Formats a table with a header row and aligned columns for terminal
+/// output.
+#[must_use]
+pub fn format_table(header: &[&str], rows: &[Vec<String>]) -> String {
+    let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let mut out = String::new();
+    let render = |cells: &[String], widths: &[usize], out: &mut String| {
+        for (i, cell) in cells.iter().enumerate() {
+            let width = widths.get(i).copied().unwrap_or(cell.len());
+            out.push_str(&format!("{cell:<width$}  "));
+        }
+        out.push('\n');
+    };
+    render(
+        &header.iter().map(|s| (*s).to_string()).collect::<Vec<_>>(),
+        &widths,
+        &mut out,
+    );
+    render(
+        &widths.iter().map(|w| "-".repeat(*w)).collect::<Vec<_>>(),
+        &widths,
+        &mut out,
+    );
+    for row in rows {
+        render(row, &widths, &mut out);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn means() {
+        assert_eq!(mean(&[]), 0.0);
+        assert!((mean(&[1.0, 2.0, 3.0]) - 2.0).abs() < 1e-12);
+        assert_eq!(geometric_mean(&[]), 0.0);
+        assert!((geometric_mean(&[2.0, 8.0]) - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn table_formatting_aligns_columns() {
+        let table = format_table(
+            &["name", "value"],
+            &[
+                vec!["a".to_string(), "1.00".to_string()],
+                vec!["longer-name".to_string(), "2.00".to_string()],
+            ],
+        );
+        assert!(table.contains("longer-name"));
+        assert!(table.lines().count() == 4);
+        let first_line_len = table.lines().next().unwrap().len();
+        let last_line_len = table.lines().last().unwrap().len();
+        assert!(first_line_len.abs_diff(last_line_len) <= 2);
+    }
+}

@@ -1,0 +1,57 @@
+//! Errors produced by the LTRF compiler passes.
+
+use std::fmt;
+
+use ltrf_isa::{BlockId, IsaError};
+
+/// Errors produced while forming prefetch subgraphs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum CompileError {
+    /// A single instruction touches more registers than the per-interval
+    /// register budget allows, so no valid partition exists.
+    IntervalBudgetTooSmall {
+        /// The block containing the offending instruction.
+        block: BlockId,
+        /// Registers touched by the offending instruction.
+        required: usize,
+        /// The configured per-interval register budget.
+        budget: usize,
+    },
+    /// A kernel produced by block splitting failed re-validation. This
+    /// indicates a bug in the splitting logic rather than bad user input.
+    InvalidSplitKernel(IsaError),
+}
+
+impl fmt::Display for CompileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CompileError::IntervalBudgetTooSmall {
+                block,
+                required,
+                budget,
+            } => write!(
+                f,
+                "an instruction in {block} touches {required} registers but the register-interval budget is only {budget}"
+            ),
+            CompileError::InvalidSplitKernel(e) => {
+                write!(f, "internal error: split kernel failed validation: {e}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CompileError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CompileError::InvalidSplitKernel(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<IsaError> for CompileError {
+    fn from(value: IsaError) -> Self {
+        CompileError::InvalidSplitKernel(value)
+    }
+}

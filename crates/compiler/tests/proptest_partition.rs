@@ -1,0 +1,156 @@
+//! Property-based tests: register-interval partitions formed over random
+//! kernels always satisfy the paper's structural invariants.
+
+use ltrf_compiler::{compile, CompilerOptions, PrefetchSubgraphKind};
+use ltrf_isa::{ArchReg, BranchBehavior, Kernel, KernelBuilder, Opcode};
+use proptest::prelude::*;
+
+/// A compact description of a random kernel: a chain of "segments", each of
+/// which is either a straight-line block, a loop, or an if/else diamond, with
+/// a random register footprint.
+#[derive(Debug, Clone)]
+enum Segment {
+    Straight { insts: usize, base_reg: u8 },
+    Loop { insts: usize, base_reg: u8, trips: u32 },
+    Diamond { insts: usize, base_reg: u8 },
+}
+
+fn arb_segment() -> impl Strategy<Value = Segment> {
+    prop_oneof![
+        (1usize..12, 0u8..56).prop_map(|(insts, base_reg)| Segment::Straight { insts, base_reg }),
+        (1usize..10, 0u8..56, 1u32..6)
+            .prop_map(|(insts, base_reg, trips)| Segment::Loop { insts, base_reg, trips }),
+        (1usize..8, 0u8..56).prop_map(|(insts, base_reg)| Segment::Diamond { insts, base_reg }),
+    ]
+}
+
+fn build_kernel(segments: &[Segment]) -> Kernel {
+    let mut b = KernelBuilder::new("random", 64);
+    let mut current = b.entry_block();
+    for seg in segments {
+        match *seg {
+            Segment::Straight { insts, base_reg } => {
+                for i in 0..insts {
+                    let dst = ArchReg::new(base_reg + (i % 8) as u8);
+                    let src = ArchReg::new(base_reg + ((i + 1) % 8) as u8);
+                    b.push(current, Opcode::FAlu, Some(dst), &[src]);
+                }
+            }
+            Segment::Loop {
+                insts,
+                base_reg,
+                trips,
+            } => {
+                let header = b.add_block();
+                let after = b.add_block();
+                b.jump(current, header);
+                for i in 0..insts {
+                    let dst = ArchReg::new(base_reg + (i % 8) as u8);
+                    b.push(header, Opcode::FAlu, Some(dst), &[ArchReg::new(base_reg)]);
+                }
+                b.loop_branch(header, header, after, trips);
+                current = after;
+            }
+            Segment::Diamond { insts, base_reg } => {
+                let left = b.add_block();
+                let right = b.add_block();
+                let join = b.add_block();
+                b.branch(current, left, right, BranchBehavior::balanced());
+                for i in 0..insts {
+                    b.push(
+                        left,
+                        Opcode::IAlu,
+                        Some(ArchReg::new(base_reg + (i % 4) as u8)),
+                        &[],
+                    );
+                    b.push(
+                        right,
+                        Opcode::IAlu,
+                        Some(ArchReg::new(base_reg + 4 + (i % 4) as u8)),
+                        &[],
+                    );
+                }
+                b.jump(left, join);
+                b.jump(right, join);
+                current = join;
+            }
+        }
+    }
+    b.exit(current);
+    b.build().expect("random kernels are structurally valid")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Register-interval partitions over random kernels never violate the
+    /// structural invariants (full coverage, single entry, budget respected)
+    /// and never lose instructions when splitting blocks.
+    #[test]
+    fn register_interval_partition_invariants(
+        segments in proptest::collection::vec(arb_segment(), 1..8),
+        budget in 8usize..33,
+    ) {
+        let kernel = build_kernel(&segments);
+        let opts = CompilerOptions::default().with_max_registers(budget);
+        let compiled = compile(&kernel, &opts).unwrap();
+        let violations = compiled.partition.invariant_violations(&compiled.kernel.cfg);
+        prop_assert!(violations.is_empty(), "violations: {violations:?}");
+        prop_assert_eq!(
+            compiled.kernel.static_instruction_count(),
+            kernel.static_instruction_count()
+        );
+        prop_assert!(compiled.stats.max_working_set <= budget);
+        // Dynamic coverage: every dynamic instruction falls in some interval,
+        // so real interval lengths sum to the dynamic instruction count.
+        let lengths = ltrf_compiler::trace_analysis::real_interval_lengths(
+            &compiled.kernel, &compiled.partition, 17);
+        let total: u64 = lengths.iter().sum();
+        let stats = ltrf_isa::trace::trace_stats(&compiled.kernel, 17);
+        prop_assert_eq!(total, stats.dynamic_instructions);
+    }
+
+    /// Strand partitions satisfy the same invariants and are never coarser
+    /// than register-interval partitions.
+    #[test]
+    fn strand_partition_invariants(
+        segments in proptest::collection::vec(arb_segment(), 1..6),
+        budget in 8usize..33,
+    ) {
+        let kernel = build_kernel(&segments);
+        let ri = compile(&kernel, &CompilerOptions::default().with_max_registers(budget)).unwrap();
+        let st = compile(
+            &kernel,
+            &CompilerOptions {
+                max_registers_per_interval: budget,
+                subgraph_kind: PrefetchSubgraphKind::Strand,
+                reduce_intervals: false,
+                annotate_liveness: true,
+            },
+        )
+        .unwrap();
+        let violations = st.partition.invariant_violations(&st.kernel.cfg);
+        prop_assert!(violations.is_empty(), "violations: {violations:?}");
+        prop_assert!(st.stats.interval_count >= ri.stats.interval_count);
+        prop_assert!(st.stats.max_working_set <= budget);
+    }
+
+    /// Liveness-annotated kernels never mark a loop-carried operand dead on
+    /// the back edge path: re-running the analysis after annotation yields
+    /// identical live sets (annotation is metadata only).
+    #[test]
+    fn liveness_annotation_is_pure_metadata(
+        segments in proptest::collection::vec(arb_segment(), 1..6),
+    ) {
+        let kernel = build_kernel(&segments);
+        let before = ltrf_compiler::Liveness::analyze(&kernel);
+        let compiled = compile(&kernel, &CompilerOptions::default()).unwrap();
+        let after = ltrf_compiler::Liveness::analyze(&compiled.kernel);
+        // Block counts can differ (splitting), but the entry live-in must be
+        // identical and empty-ness of exit live-out preserved.
+        prop_assert_eq!(
+            before.live_in(kernel.cfg.entry()).len(),
+            after.live_in(compiled.kernel.cfg.entry()).len()
+        );
+    }
+}

@@ -1,0 +1,40 @@
+//! Error type for the core LTRF library.
+
+use std::fmt;
+
+use ltrf_compiler::CompileError;
+
+/// Errors produced while building organizations or running experiments.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum CoreError {
+    /// Compiling the kernel for a software-managed organization failed.
+    Compile(CompileError),
+    /// An experiment was configured with an empty latency sweep or another
+    /// parameter set that cannot produce a result.
+    InvalidExperiment(String),
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::Compile(e) => write!(f, "compilation failed: {e}"),
+            CoreError::InvalidExperiment(msg) => write!(f, "invalid experiment: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CoreError::Compile(e) => Some(e),
+            CoreError::InvalidExperiment(_) => None,
+        }
+    }
+}
+
+impl From<CompileError> for CoreError {
+    fn from(value: CompileError) -> Self {
+        CoreError::Compile(value)
+    }
+}

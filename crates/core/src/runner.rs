@@ -1,0 +1,368 @@
+//! The experiment runner: simulate a kernel under a register-file
+//! organization and a Table 2 design point, and report IPC and power.
+
+use serde::{Deserialize, Serialize};
+
+use ltrf_isa::Kernel;
+use ltrf_sim::{simulate, GpuConfig, MemoryBehavior, SimStats, SimWorkload};
+use ltrf_tech::{PowerBreakdown, RegFileConfig, RegFilePowerModel};
+
+use crate::organizations::{build_organization, LtrfParams, Organization};
+use crate::CoreError;
+
+/// Everything needed to run one kernel under one register-file design.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ExperimentConfig {
+    /// The register-file organization under test.
+    pub organization: Organization,
+    /// The Table 2 main-register-file design point (capacity and latency).
+    pub mrf_config: RegFileConfig,
+    /// Override of the main-register-file latency factor; `None` uses the
+    /// design point's calibrated factor. Latency-sweep experiments
+    /// (Figures 11–14) set this explicitly.
+    pub latency_factor_override: Option<f64>,
+    /// Registers per register-interval (the cache partition size, default 16).
+    pub registers_per_interval: usize,
+    /// Number of warps holding cache partitions concurrently (default 8).
+    pub active_warps: usize,
+    /// RFC capacity in registers per warp (default 16, i.e. a 16 KB cache
+    /// shared by 8 warps).
+    pub rfc_entries_per_warp: usize,
+}
+
+impl ExperimentConfig {
+    /// An experiment on the baseline SRAM design point (configuration #1).
+    #[must_use]
+    pub fn new(organization: Organization) -> Self {
+        ExperimentConfig {
+            organization,
+            mrf_config: RegFileConfig::baseline(),
+            latency_factor_override: None,
+            registers_per_interval: 16,
+            active_warps: 8,
+            rfc_entries_per_warp: 16,
+        }
+    }
+
+    /// An experiment on Table 2 configuration `id` (1–7).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is not in `1..=7`.
+    #[must_use]
+    pub fn for_table2(organization: Organization, id: u8) -> Self {
+        ExperimentConfig {
+            mrf_config: RegFileConfig::from_table(id),
+            ..ExperimentConfig::new(organization)
+        }
+    }
+
+    /// Overrides the main-register-file latency factor.
+    #[must_use]
+    pub fn with_latency_factor(mut self, factor: f64) -> Self {
+        self.latency_factor_override = Some(factor);
+        self
+    }
+
+    /// Sets the register-interval size (Figure 12 sweep).
+    #[must_use]
+    pub fn with_registers_per_interval(mut self, n: usize) -> Self {
+        self.registers_per_interval = n;
+        self
+    }
+
+    /// Sets the active-warp count (Figure 13 sweep).
+    #[must_use]
+    pub fn with_active_warps(mut self, warps: usize) -> Self {
+        self.active_warps = warps;
+        self
+    }
+
+    /// The effective main-register-file latency factor of this experiment.
+    #[must_use]
+    pub fn latency_factor(&self) -> f64 {
+        match self.organization {
+            // The ideal design has the baseline latency regardless of size.
+            Organization::Ideal => 1.0,
+            _ => self
+                .latency_factor_override
+                .unwrap_or(self.mrf_config.latency_factor),
+        }
+    }
+
+    /// Builds the simulator configuration for this experiment.
+    #[must_use]
+    pub fn gpu_config(&self) -> GpuConfig {
+        let mut gpu = GpuConfig::default()
+            .with_regfile_capacity_factor(self.mrf_config.capacity_factor)
+            .with_mrf_latency_factor(self.latency_factor())
+            .with_active_warps(self.active_warps);
+        // The Table 2 design points change the bank count as well as the
+        // latency (the 8x designs use 8x as many banks behind a flattened
+        // butterfly), which is what keeps their aggregate bandwidth usable.
+        gpu.regfile.mrf_banks =
+            ((16.0 * self.mrf_config.bank_count_factor).round() as usize).max(1);
+        // The baseline comparison point of the paper adds the 16 KB of cache
+        // capacity to the main register file instead.
+        if matches!(self.organization, Organization::Baseline | Organization::Ideal) {
+            gpu.regfile_bytes += gpu.regfile_cache_bytes;
+        }
+        gpu
+    }
+}
+
+/// The outcome of one experiment run.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RunResult {
+    /// The organization that was simulated.
+    pub organization: Organization,
+    /// Raw simulation statistics.
+    pub stats: SimStats,
+    /// Instructions per cycle.
+    pub ipc: f64,
+    /// Register-file energy/power breakdown for the run.
+    pub power: PowerBreakdown,
+    /// Register-cache hit rate, if the organization has a cache.
+    pub cache_hit_rate: Option<f64>,
+}
+
+/// Runs one kernel under one experiment configuration.
+///
+/// # Errors
+///
+/// Propagates compiler failures for software-managed organizations.
+pub fn run_experiment(
+    kernel: &Kernel,
+    memory: MemoryBehavior,
+    seed: u64,
+    config: &ExperimentConfig,
+) -> Result<RunResult, CoreError> {
+    let gpu = config.gpu_config();
+    let params = LtrfParams {
+        registers_per_interval: config.registers_per_interval,
+        active_warps: config.active_warps,
+        liveness_aware: config.organization == Organization::LtrfPlus,
+    };
+    let mut built = build_organization(
+        config.organization,
+        kernel,
+        gpu.regfile,
+        params,
+        config.rfc_entries_per_warp,
+    )?;
+    let workload = SimWorkload::new(built.kernel.clone())
+        .with_memory(memory)
+        .with_seed(seed);
+    let stats = simulate(&workload, &gpu, built.model.as_mut());
+    let rfc_kib = if matches!(config.organization, Organization::Baseline | Organization::Ideal) {
+        0.0
+    } else {
+        gpu.regfile_cache_bytes as f64 / 1024.0
+    };
+    let power_model = RegFilePowerModel::for_config(&config.mrf_config, rfc_kib, gpu.core_clock_mhz);
+    let power = power_model.evaluate(&stats.regfile_accesses);
+    Ok(RunResult {
+        organization: config.organization,
+        stats,
+        ipc: stats.ipc(),
+        power,
+        cache_hit_rate: stats.register_cache_hit_rate,
+    })
+}
+
+/// Runs the reference baseline the paper normalizes against: the conventional
+/// register file on configuration #1 with the 16 KB cache capacity folded
+/// into the main register file.
+///
+/// # Errors
+///
+/// Never fails in practice (the baseline needs no compilation); the result is
+/// a `Result` for uniformity with [`run_experiment`].
+pub fn run_baseline_reference(
+    kernel: &Kernel,
+    memory: MemoryBehavior,
+    seed: u64,
+) -> Result<RunResult, CoreError> {
+    run_experiment(
+        kernel,
+        memory,
+        seed,
+        &ExperimentConfig::new(Organization::Baseline),
+    )
+}
+
+/// A pair of runs: an organization and the baseline it is normalized to.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct NormalizedResult {
+    /// The organization's run.
+    pub result: RunResult,
+    /// IPC relative to the baseline reference.
+    pub normalized_ipc: f64,
+    /// Register-file power relative to the baseline reference.
+    pub normalized_power: f64,
+}
+
+/// Runs `config` and normalizes it against the baseline reference on the same
+/// kernel, memory behaviour, and seed.
+///
+/// # Errors
+///
+/// Propagates compiler failures for software-managed organizations.
+pub fn run_normalized(
+    kernel: &Kernel,
+    memory: MemoryBehavior,
+    seed: u64,
+    config: &ExperimentConfig,
+) -> Result<NormalizedResult, CoreError> {
+    let baseline = run_baseline_reference(kernel, memory, seed)?;
+    let result = run_experiment(kernel, memory, seed, config)?;
+    let normalized_ipc = if baseline.ipc > 0.0 {
+        result.ipc / baseline.ipc
+    } else {
+        0.0
+    };
+    let normalized_power = if baseline.power.average_power_mw > 0.0 {
+        result.power.average_power_mw / baseline.power.average_power_mw
+    } else {
+        0.0
+    };
+    Ok(NormalizedResult {
+        result,
+        normalized_ipc,
+        normalized_power,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ltrf_isa::{ArchReg, KernelBuilder, LaunchConfig, Opcode};
+
+    /// A small register-heavy kernel with a loop and a load, sized so the
+    /// unit tests stay fast.
+    fn test_kernel() -> Kernel {
+        let mut b = KernelBuilder::new("runner-test", 32);
+        let entry = b.entry_block();
+        let body = b.add_block();
+        let exit = b.add_block();
+        for i in 0..12 {
+            b.push(entry, Opcode::Mov, Some(ArchReg::new(i)), &[]);
+        }
+        b.jump(entry, body);
+        b.push(body, Opcode::LoadGlobal, Some(ArchReg::new(16)), &[ArchReg::new(0)]);
+        for i in 0..6 {
+            b.push(
+                body,
+                Opcode::FFma,
+                Some(ArchReg::new(17 + i)),
+                &[ArchReg::new(16), ArchReg::new(i)],
+            );
+        }
+        b.loop_branch(body, body, exit, 6);
+        b.push(exit, Opcode::StoreGlobal, None, &[ArchReg::new(0), ArchReg::new(17)]);
+        b.exit(exit);
+        b.launch(LaunchConfig::new(8, 2, 0));
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn experiment_config_builders() {
+        let cfg = ExperimentConfig::for_table2(Organization::Ltrf, 7)
+            .with_latency_factor(4.0)
+            .with_registers_per_interval(32)
+            .with_active_warps(16);
+        assert_eq!(cfg.mrf_config.id.0, 7);
+        assert!((cfg.latency_factor() - 4.0).abs() < 1e-9);
+        assert_eq!(cfg.registers_per_interval, 32);
+        assert_eq!(cfg.active_warps, 16);
+        // Ideal ignores latency factors.
+        let ideal = ExperimentConfig::for_table2(Organization::Ideal, 7);
+        assert!((ideal.latency_factor() - 1.0).abs() < 1e-9);
+        // The baseline folds the cache capacity into the main register file.
+        let bl = ExperimentConfig::new(Organization::Baseline).gpu_config();
+        assert_eq!(bl.regfile_bytes, (256 + 16) * 1024);
+        let ltrf = ExperimentConfig::new(Organization::Ltrf).gpu_config();
+        assert_eq!(ltrf.regfile_bytes, 256 * 1024);
+    }
+
+    #[test]
+    fn every_organization_completes_the_test_kernel() {
+        let kernel = test_kernel();
+        for &org in Organization::all() {
+            let result = run_experiment(
+                &kernel,
+                MemoryBehavior::cache_resident(),
+                1,
+                &ExperimentConfig::for_table2(org, 6),
+            )
+            .unwrap();
+            assert!(!result.stats.truncated, "{org} run was truncated");
+            assert!(result.ipc > 0.0, "{org} produced zero IPC");
+            assert!(result.power.average_power_mw >= 0.0);
+        }
+    }
+
+    #[test]
+    fn ltrf_beats_baseline_on_a_slow_register_file() {
+        let kernel = test_kernel();
+        let memory = MemoryBehavior::cache_resident();
+        let bl = run_experiment(
+            &kernel,
+            memory,
+            3,
+            &ExperimentConfig::for_table2(Organization::Baseline, 7),
+        )
+        .unwrap();
+        let ltrf = run_experiment(
+            &kernel,
+            memory,
+            3,
+            &ExperimentConfig::for_table2(Organization::Ltrf, 7),
+        )
+        .unwrap();
+        assert!(
+            ltrf.ipc > bl.ipc,
+            "LTRF ({}) should beat BL ({}) at 6.3x register-file latency",
+            ltrf.ipc,
+            bl.ipc
+        );
+    }
+
+    #[test]
+    fn normalization_against_the_baseline_reference() {
+        let kernel = test_kernel();
+        let normalized = run_normalized(
+            &kernel,
+            MemoryBehavior::cache_resident(),
+            5,
+            &ExperimentConfig::for_table2(Organization::Ltrf, 6),
+        )
+        .unwrap();
+        assert!(normalized.normalized_ipc > 0.0);
+        assert!(normalized.normalized_power > 0.0);
+    }
+
+    #[test]
+    fn ltrf_cache_hit_rate_is_near_perfect() {
+        let kernel = test_kernel();
+        let result = run_experiment(
+            &kernel,
+            MemoryBehavior::cache_resident(),
+            9,
+            &ExperimentConfig::for_table2(Organization::Ltrf, 6),
+        )
+        .unwrap();
+        let hit_rate = result.cache_hit_rate.expect("LTRF has a register cache");
+        assert!(hit_rate > 0.95, "LTRF hit rate should be near 1.0, got {hit_rate}");
+        // The RFC hit rate on the same kernel is clearly lower.
+        let rfc = run_experiment(
+            &kernel,
+            MemoryBehavior::cache_resident(),
+            9,
+            &ExperimentConfig::for_table2(Organization::Rfc, 6),
+        )
+        .unwrap();
+        let rfc_rate = rfc.cache_hit_rate.expect("RFC has a register cache");
+        assert!(rfc_rate < hit_rate);
+    }
+}

@@ -1,0 +1,72 @@
+//! Error type for kernel construction and validation.
+
+use std::fmt;
+
+use crate::BlockId;
+
+/// Errors produced while building or validating a [`crate::Kernel`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum IsaError {
+    /// A terminator references a basic block that does not exist.
+    UnknownBlock {
+        /// The block containing the bad reference.
+        from: BlockId,
+        /// The missing target block.
+        target: BlockId,
+    },
+    /// A block is missing a terminator (fell through the end of the block).
+    MissingTerminator(BlockId),
+    /// An instruction uses a register whose index is not smaller than the
+    /// kernel's declared per-thread register count.
+    RegisterOutOfRange {
+        /// Block containing the offending instruction.
+        block: BlockId,
+        /// Index of the instruction inside the block.
+        index: usize,
+        /// The offending register index.
+        register: u16,
+        /// The kernel's declared number of registers per thread.
+        regs_per_thread: u16,
+    },
+    /// The kernel declares more registers per thread than the architecture
+    /// supports (256).
+    TooManyRegisters {
+        /// The declared register count.
+        declared: u16,
+    },
+    /// The kernel has no basic blocks.
+    EmptyKernel,
+    /// A block is unreachable from the entry block.
+    UnreachableBlock(BlockId),
+}
+
+impl fmt::Display for IsaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IsaError::UnknownBlock { from, target } => {
+                write!(f, "block {from} branches to non-existent block {target}")
+            }
+            IsaError::MissingTerminator(b) => write!(f, "block {b} has no terminator"),
+            IsaError::RegisterOutOfRange {
+                block,
+                index,
+                register,
+                regs_per_thread,
+            } => write!(
+                f,
+                "instruction {index} in block {block} uses register r{register} but the kernel declares only {regs_per_thread} registers per thread"
+            ),
+            IsaError::TooManyRegisters { declared } => write!(
+                f,
+                "kernel declares {declared} registers per thread, more than the architectural maximum of 256"
+            ),
+            IsaError::EmptyKernel => write!(f, "kernel has no basic blocks"),
+            IsaError::UnreachableBlock(b) => {
+                write!(f, "block {b} is unreachable from the entry block")
+            }
+        }
+    }
+}
+
+impl std::error::Error for IsaError {}

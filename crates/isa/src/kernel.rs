@@ -1,0 +1,213 @@
+//! Whole kernels: a CFG plus launch metadata.
+
+use serde::{Deserialize, Serialize};
+
+use crate::{Cfg, IsaError, RegSet, MAX_ARCH_REGS};
+
+/// Kernel launch configuration (grid shape flattened to warp counts).
+///
+/// The LTRF evaluation does not depend on the 3-D structure of CUDA grids,
+/// only on how many warps a kernel can supply to each SM and how many
+/// registers each of its threads needs; `LaunchConfig` captures exactly that.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LaunchConfig {
+    /// Number of warps in a thread block (CTA).
+    pub warps_per_block: u32,
+    /// Number of thread blocks in the grid.
+    pub blocks_per_grid: u32,
+    /// Shared memory used by each block, in bytes (limits occupancy).
+    pub shared_mem_per_block: u32,
+}
+
+impl LaunchConfig {
+    /// Creates a launch configuration.
+    #[must_use]
+    pub const fn new(warps_per_block: u32, blocks_per_grid: u32, shared_mem_per_block: u32) -> Self {
+        LaunchConfig {
+            warps_per_block,
+            blocks_per_grid,
+            shared_mem_per_block,
+        }
+    }
+
+    /// Total number of warps launched by the kernel.
+    #[must_use]
+    pub const fn total_warps(&self) -> u64 {
+        self.warps_per_block as u64 * self.blocks_per_grid as u64
+    }
+}
+
+impl Default for LaunchConfig {
+    fn default() -> Self {
+        // 8 warps (256 threads) per block, 64 blocks: a typical mid-size grid.
+        LaunchConfig::new(8, 64, 0)
+    }
+}
+
+/// Whether a kernel's achievable thread-level parallelism is limited by the
+/// register file (the paper's two workload categories).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum RegisterSensitivity {
+    /// TLP improves when the register file grows.
+    Sensitive,
+    /// TLP is limited by something other than the register file.
+    Insensitive,
+}
+
+/// A GPU kernel: name, control-flow graph, per-thread register demand, and
+/// launch configuration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Kernel {
+    name: String,
+    /// The kernel's control-flow graph.
+    pub cfg: Cfg,
+    regs_per_thread: u16,
+    launch: LaunchConfig,
+    sensitivity: RegisterSensitivity,
+}
+
+impl Kernel {
+    /// Creates a kernel and validates it.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the CFG fails [`Cfg::validate`] or declares more
+    /// than 256 registers per thread.
+    pub fn new(
+        name: impl Into<String>,
+        cfg: Cfg,
+        regs_per_thread: u16,
+        launch: LaunchConfig,
+        sensitivity: RegisterSensitivity,
+    ) -> Result<Self, IsaError> {
+        if regs_per_thread as usize > MAX_ARCH_REGS {
+            return Err(IsaError::TooManyRegisters {
+                declared: regs_per_thread,
+            });
+        }
+        cfg.validate(regs_per_thread)?;
+        Ok(Kernel {
+            name: name.into(),
+            cfg,
+            regs_per_thread,
+            launch,
+            sensitivity,
+        })
+    }
+
+    /// Returns the kernel name.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Returns the number of architectural registers each thread of this
+    /// kernel is allocated.
+    #[must_use]
+    pub const fn regs_per_thread(&self) -> u16 {
+        self.regs_per_thread
+    }
+
+    /// Returns the launch configuration.
+    #[must_use]
+    pub const fn launch(&self) -> LaunchConfig {
+        self.launch
+    }
+
+    /// Returns whether the kernel is register-sensitive.
+    #[must_use]
+    pub const fn sensitivity(&self) -> RegisterSensitivity {
+        self.sensitivity
+    }
+
+    /// Returns `true` if the kernel's TLP is limited by register capacity.
+    #[must_use]
+    pub const fn is_register_sensitive(&self) -> bool {
+        matches!(self.sensitivity, RegisterSensitivity::Sensitive)
+    }
+
+    /// Returns the set of registers actually referenced by the kernel's code.
+    #[must_use]
+    pub fn referenced_registers(&self) -> RegSet {
+        self.cfg.all_registers()
+    }
+
+    /// Number of static instructions in the kernel.
+    #[must_use]
+    pub fn static_instruction_count(&self) -> usize {
+        self.cfg.static_instruction_count()
+    }
+
+    /// Register-file bytes needed per *warp* (32 threads × 4 bytes × regs).
+    #[must_use]
+    pub const fn regfile_bytes_per_warp(&self) -> u64 {
+        self.regs_per_thread as u64 * 32 * 4
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{ArchReg, BasicBlock, BlockId, Instruction, Opcode, Terminator};
+
+    fn simple_cfg(regs: u8) -> Cfg {
+        let mut b = BasicBlock::new(BlockId(0));
+        for i in 0..regs {
+            b.push(Instruction::new(Opcode::IAlu, Some(ArchReg::new(i)), &[]));
+        }
+        b.set_terminator(Terminator::Exit);
+        Cfg::new(vec![b], BlockId(0))
+    }
+
+    #[test]
+    fn kernel_construction_and_accessors() {
+        let k = Kernel::new(
+            "k",
+            simple_cfg(4),
+            8,
+            LaunchConfig::default(),
+            RegisterSensitivity::Sensitive,
+        )
+        .unwrap();
+        assert_eq!(k.name(), "k");
+        assert_eq!(k.regs_per_thread(), 8);
+        assert!(k.is_register_sensitive());
+        assert_eq!(k.referenced_registers().len(), 4);
+        assert_eq!(k.static_instruction_count(), 4);
+        assert_eq!(k.regfile_bytes_per_warp(), 8 * 32 * 4);
+        assert_eq!(k.launch().total_warps(), 8 * 64);
+    }
+
+    #[test]
+    fn kernel_rejects_register_overflow() {
+        let err = Kernel::new(
+            "k",
+            simple_cfg(4),
+            2,
+            LaunchConfig::default(),
+            RegisterSensitivity::Insensitive,
+        )
+        .unwrap_err();
+        assert!(matches!(err, IsaError::RegisterOutOfRange { .. }));
+    }
+
+    #[test]
+    fn kernel_rejects_too_many_registers() {
+        let err = Kernel::new(
+            "k",
+            simple_cfg(1),
+            300,
+            LaunchConfig::default(),
+            RegisterSensitivity::Insensitive,
+        )
+        .unwrap_err();
+        assert_eq!(err, IsaError::TooManyRegisters { declared: 300 });
+    }
+
+    #[test]
+    fn launch_config_totals() {
+        let lc = LaunchConfig::new(4, 10, 1024);
+        assert_eq!(lc.total_warps(), 40);
+        assert_eq!(LaunchConfig::default().warps_per_block, 8);
+    }
+}

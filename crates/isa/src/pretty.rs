@@ -1,0 +1,65 @@
+//! Human-readable disassembly of kernels.
+
+use std::fmt::Write as _;
+
+use crate::{Kernel, Terminator};
+
+/// Renders a kernel as PTX-like assembly text.
+///
+/// The output is intended for debugging and for the compiler-explorer
+/// example; it round-trips nothing and has no stability guarantees beyond
+/// "one instruction per line, blocks labelled `bbN:`".
+#[must_use]
+pub fn disassemble(kernel: &Kernel) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "// kernel {} ({} regs/thread, {} blocks, {} static instructions)",
+        kernel.name(),
+        kernel.regs_per_thread(),
+        kernel.cfg.block_count(),
+        kernel.static_instruction_count()
+    );
+    for block in kernel.cfg.blocks() {
+        let _ = writeln!(out, "{}:", block.id());
+        for inst in block.instructions() {
+            let _ = writeln!(out, "    {inst}");
+        }
+        match block.terminator() {
+            Some(Terminator::Jump(t)) => {
+                let _ = writeln!(out, "    bra {t}");
+            }
+            Some(Terminator::Branch {
+                taken,
+                not_taken,
+                behavior,
+            }) => {
+                let _ = writeln!(out, "    @p bra {taken} // else {not_taken} ({behavior:?})");
+            }
+            Some(Terminator::Exit) => {
+                let _ = writeln!(out, "    exit");
+            }
+            None => {
+                let _ = writeln!(out, "    <missing terminator>");
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::straight_line_kernel;
+
+    #[test]
+    fn disassembly_mentions_blocks_and_instructions() {
+        let k = straight_line_kernel("demo", 4, 3);
+        let text = disassemble(&k);
+        assert!(text.contains("kernel demo"));
+        assert!(text.contains("bb0:"));
+        assert!(text.contains("fadd"));
+        assert!(text.contains("exit"));
+        assert_eq!(text.lines().count(), 1 + 1 + 3 + 1);
+    }
+}

@@ -1,0 +1,113 @@
+//! Property-based tests for the core ISA data structures.
+
+use ltrf_isa::{ArchReg, BranchBehavior, KernelBuilder, Opcode, RegSet};
+use proptest::prelude::*;
+
+fn arb_reg() -> impl Strategy<Value = ArchReg> {
+    any::<u8>().prop_map(ArchReg::new)
+}
+
+fn arb_regset() -> impl Strategy<Value = RegSet> {
+    proptest::collection::vec(arb_reg(), 0..64).prop_map(RegSet::from_iter)
+}
+
+proptest! {
+    /// Union is commutative, associative, and idempotent; the empty set is
+    /// its identity.
+    #[test]
+    fn union_laws(a in arb_regset(), b in arb_regset(), c in arb_regset()) {
+        prop_assert_eq!(a.union(&b), b.union(&a));
+        prop_assert_eq!(a.union(&b).union(&c), a.union(&b.union(&c)));
+        prop_assert_eq!(a.union(&a), a);
+        prop_assert_eq!(a.union(&RegSet::new()), a);
+    }
+
+    /// Intersection distributes over union.
+    #[test]
+    fn intersection_distributes(a in arb_regset(), b in arb_regset(), c in arb_regset()) {
+        prop_assert_eq!(
+            a.intersection(&b.union(&c)),
+            a.intersection(&b).union(&a.intersection(&c))
+        );
+    }
+
+    /// |A ∪ B| = |A| + |B| − |A ∩ B|.
+    #[test]
+    fn inclusion_exclusion(a in arb_regset(), b in arb_regset()) {
+        prop_assert_eq!(
+            a.union(&b).len() + a.intersection(&b).len(),
+            a.len() + b.len()
+        );
+    }
+
+    /// Difference removes exactly the intersection.
+    #[test]
+    fn difference_laws(a in arb_regset(), b in arb_regset()) {
+        let diff = a.difference(&b);
+        prop_assert!(diff.is_disjoint(&b));
+        prop_assert_eq!(diff.union(&a.intersection(&b)), a);
+        prop_assert!(diff.is_subset(&a));
+    }
+
+    /// Membership after insert/remove behaves like a set.
+    #[test]
+    fn insert_remove_membership(mut s in arb_regset(), r in arb_reg()) {
+        s.insert(r);
+        prop_assert!(s.contains(r));
+        s.remove(r);
+        prop_assert!(!s.contains(r));
+    }
+
+    /// Round-tripping through the 256-bit wire encoding is lossless.
+    #[test]
+    fn words_round_trip(s in arb_regset()) {
+        prop_assert_eq!(RegSet::from_words(s.to_words()), s);
+    }
+
+    /// Iteration yields strictly ascending register indices whose count is
+    /// the set's length.
+    #[test]
+    fn iteration_sorted_and_complete(s in arb_regset()) {
+        let v = s.to_vec();
+        prop_assert_eq!(v.len(), s.len());
+        prop_assert!(v.windows(2).all(|w| w[0] < w[1]));
+        for r in &v {
+            prop_assert!(s.contains(*r));
+        }
+    }
+}
+
+proptest! {
+    /// A chain of self-loops built via the builder always validates, and its
+    /// dynamic instruction count is exactly the sum over loops of
+    /// `trip_count × body_instructions`.
+    #[test]
+    fn builder_loop_chain_traces_exactly(trips in proptest::collection::vec(1u32..8, 1..5),
+                                         body in 1usize..6) {
+        let mut b = KernelBuilder::new("p", 16);
+        let mut prev = b.entry_block();
+        let mut expected: u64 = 0;
+        for &trip in &trips {
+            let header = b.add_block();
+            b.jump(prev, header);
+            for i in 0..body {
+                b.push(header, Opcode::FAlu, Some(ArchReg::new((i % 8) as u8)), &[ArchReg::new(8)]);
+            }
+            let next = b.add_block();
+            b.loop_branch(header, header, next, trip);
+            expected += u64::from(trip) * body as u64;
+            prev = next;
+        }
+        b.exit(prev);
+        let kernel = b.build();
+        prop_assert!(kernel.is_ok());
+        let kernel = kernel.unwrap();
+        let stats = ltrf_isa::trace::trace_stats(&kernel, 11);
+        prop_assert_eq!(stats.dynamic_instructions, expected);
+        // Taken branches: each loop takes its back edge trip-1 times.
+        let expected_taken: u64 = trips.iter().map(|&t| u64::from(t) - 1).sum();
+        prop_assert_eq!(stats.taken_branches, expected_taken);
+        prop_assert_eq!(stats.not_taken_branches, trips.len() as u64);
+        let _ = BranchBehavior::balanced();
+    }
+}

@@ -1,0 +1,50 @@
+//! # ltrf-sim
+//!
+//! A cycle-level GPU streaming-multiprocessor timing simulator, built from
+//! scratch as the substrate for the LTRF reproduction (the role GPGPU-Sim
+//! v3.2.2 plays in the original study).
+//!
+//! The simulator models one Maxwell-like SM (Table 3 of the paper): 64
+//! resident warps, a two-level warp scheduler with a configurable active
+//! pool, operand collectors in front of a banked register file, per-opcode
+//! execution latencies, and a full memory hierarchy (L1D, shared last-level
+//! cache, and FR-FCFS-style GDDR5 DRAM channels).
+//!
+//! The register file itself is pluggable: the SM pipeline talks to a
+//! [`RegisterFileModel`] trait object, and the organizations studied in the
+//! paper (baseline, register-file cache, SHRF, LTRF, LTRF+, ideal) are
+//! implemented against this trait in the `ltrf-core` crate. Two reference
+//! implementations live here — [`DirectRegisterFile`] (the conventional
+//! non-cached design) and [`IdealRegisterFile`] (capacity without latency) —
+//! so the simulator is usable and testable on its own.
+//!
+//! ```
+//! use ltrf_isa::straight_line_kernel;
+//! use ltrf_sim::{simulate, DirectRegisterFile, GpuConfig, SimWorkload};
+//!
+//! let kernel = straight_line_kernel("demo", 16, 64);
+//! let config = GpuConfig::default();
+//! let mut regfile = DirectRegisterFile::new(config.regfile);
+//! let stats = simulate(&SimWorkload::new(kernel), &config, &mut regfile);
+//! assert!(stats.ipc() > 0.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod config;
+mod engine;
+pub mod memory;
+mod regfile;
+mod stats;
+mod types;
+mod warp;
+
+pub use config::{ExecLatencies, GpuConfig, MemoryConfig, RegFileTiming};
+pub use engine::{simulate, SimWorkload};
+pub use memory::{AddressGenerator, MemoryBehavior, MemoryStats};
+pub use regfile::{DirectRegisterFile, IdealRegisterFile, RegisterFileModel};
+pub use stats::SimStats;
+pub use types::{BankArbiter, Cycle, WarpId};
+pub use warp::{WarpContext, WarpStatus};

@@ -1,0 +1,166 @@
+//! The full memory hierarchy: per-SM L1 data cache, shared last-level cache,
+//! and DRAM, with a simple MSHR-style limit on outstanding requests.
+
+use serde::{Deserialize, Serialize};
+
+use crate::config::MemoryConfig;
+use crate::memory::cache::{Cache, CacheOutcome, CacheStats};
+use crate::memory::dram::{Dram, DramStats};
+use crate::types::Cycle;
+
+/// Aggregated statistics of the memory hierarchy.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct MemoryStats {
+    /// L1 data-cache statistics.
+    pub l1d: CacheStats,
+    /// Last-level cache statistics.
+    pub llc: CacheStats,
+    /// DRAM statistics.
+    pub dram: DramStats,
+    /// Global memory requests issued.
+    pub global_requests: u64,
+    /// Requests rejected because too many were outstanding (issue stalls).
+    pub mshr_stalls: u64,
+}
+
+/// The memory hierarchy serving one simulated SM.
+#[derive(Debug)]
+pub struct MemoryHierarchy {
+    config: MemoryConfig,
+    l1d: Cache,
+    llc: Cache,
+    dram: Dram,
+    /// Completion times of outstanding requests (bounded by the MSHR count).
+    outstanding: Vec<Cycle>,
+    stats_global_requests: u64,
+    stats_mshr_stalls: u64,
+}
+
+impl MemoryHierarchy {
+    /// Creates a hierarchy from the configuration.
+    #[must_use]
+    pub fn new(config: &MemoryConfig) -> Self {
+        MemoryHierarchy {
+            config: *config,
+            l1d: Cache::new(config.l1d_bytes, config.l1d_ways, config.line_bytes),
+            llc: Cache::new(config.llc_bytes, config.llc_ways, config.line_bytes),
+            dram: Dram::new(config),
+            outstanding: Vec::new(),
+            stats_global_requests: 0,
+            stats_mshr_stalls: 0,
+        }
+    }
+
+    /// Returns `true` if a new global-memory request can be accepted at
+    /// `now` (an MSHR slot is free).
+    pub fn can_accept(&mut self, now: Cycle) -> bool {
+        self.outstanding.retain(|&done| done > now);
+        self.outstanding.len() < self.config.max_outstanding_requests
+    }
+
+    /// Issues a global-memory access (load or store) for `address` at `now`
+    /// and returns its completion cycle.
+    ///
+    /// Callers should check [`Self::can_accept`] first; a request issued
+    /// while the MSHRs are full is still serviced but records a stall.
+    pub fn access_global(&mut self, address: u64, now: Cycle) -> Cycle {
+        if !self.can_accept(now) {
+            self.stats_mshr_stalls += 1;
+        }
+        self.stats_global_requests += 1;
+        let line_addr = address / self.config.line_bytes * self.config.line_bytes;
+        let l1 = self.l1d.access(line_addr);
+        let done = match l1 {
+            CacheOutcome::Hit => now + self.config.l1_hit_latency,
+            CacheOutcome::Miss => {
+                let llc = self.llc.access(line_addr);
+                match llc {
+                    CacheOutcome::Hit => {
+                        now + self.config.l1_hit_latency + self.config.llc_hit_latency
+                    }
+                    CacheOutcome::Miss => {
+                        let dram_issue = now + self.config.l1_hit_latency + self.config.llc_hit_latency;
+                        self.dram.access(line_addr, dram_issue)
+                    }
+                }
+            }
+        };
+        self.outstanding.push(done);
+        done
+    }
+
+    /// Cumulative statistics.
+    #[must_use]
+    pub fn stats(&self) -> MemoryStats {
+        MemoryStats {
+            l1d: self.l1d.stats(),
+            llc: self.llc.stats(),
+            dram: self.dram.stats(),
+            global_requests: self.stats_global_requests,
+            mshr_stalls: self.stats_mshr_stalls,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hierarchy() -> MemoryHierarchy {
+        MemoryHierarchy::new(&MemoryConfig::default())
+    }
+
+    #[test]
+    fn l1_hit_is_fast() {
+        let mut m = hierarchy();
+        let cfg = MemoryConfig::default();
+        let first = m.access_global(0, 0);
+        assert!(first > cfg.l1_hit_latency, "first access misses everywhere");
+        let second = m.access_global(0, first);
+        assert_eq!(second - first, cfg.l1_hit_latency);
+        assert_eq!(m.stats().l1d.hits, 1);
+    }
+
+    #[test]
+    fn llc_filters_dram_traffic() {
+        let mut m = hierarchy();
+        // Touch enough distinct lines to overflow the 16 KB L1 (128 lines)
+        // but stay well within the 2 MB LLC.
+        let lines = 1024u64;
+        for i in 0..lines {
+            m.access_global(i * 128, 0);
+        }
+        // Second sweep: misses L1 (capacity) but hits LLC.
+        for i in 0..lines {
+            m.access_global(i * 128, 1_000_000);
+        }
+        let stats = m.stats();
+        assert!(stats.llc.hits >= lines / 2, "LLC should absorb the second sweep");
+        assert_eq!(stats.global_requests, 2 * lines);
+    }
+
+    #[test]
+    fn dram_latency_dominates_cold_misses() {
+        let mut m = hierarchy();
+        let cfg = MemoryConfig::default();
+        let done = m.access_global(0, 0);
+        assert!(
+            done >= cfg.l1_hit_latency + cfg.llc_hit_latency + cfg.dram_row_miss_latency,
+            "cold miss must traverse the full hierarchy"
+        );
+    }
+
+    #[test]
+    fn mshr_limit_throttles() {
+        let mut m = hierarchy();
+        let cfg = MemoryConfig::default();
+        // Issue far more concurrent requests than MSHRs at the same cycle.
+        for i in 0..(cfg.max_outstanding_requests as u64 * 2) {
+            let _ = m.access_global(i * 4096, 0);
+        }
+        assert!(!m.can_accept(0));
+        assert!(m.stats().mshr_stalls > 0);
+        // After everything completes the hierarchy accepts requests again.
+        assert!(m.can_accept(1_000_000_000));
+    }
+}

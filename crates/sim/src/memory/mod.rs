@@ -1,0 +1,12 @@
+//! Memory subsystem: caches, DRAM, address generation, and the combined
+//! hierarchy.
+
+pub mod address;
+pub mod cache;
+pub mod dram;
+pub mod hierarchy;
+
+pub use address::{AddressGenerator, MemoryBehavior};
+pub use cache::{Cache, CacheOutcome, CacheStats};
+pub use dram::{Dram, DramStats};
+pub use hierarchy::{MemoryHierarchy, MemoryStats};

@@ -1,0 +1,121 @@
+//! On-chip memory capacity across GPU generations (the paper's Figure 2).
+//!
+//! The figure motivates the work by showing the register file taking an ever
+//! larger share of on-chip storage from Fermi (2010) to Pascal (2016). The
+//! numbers here are the public per-product totals used to regenerate that
+//! figure; they are data, not a model.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// One GPU generation's on-chip memory breakdown, in megabytes.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GpuGeneration {
+    /// Marketing architecture name.
+    pub name: &'static str,
+    /// Year of introduction.
+    pub year: u16,
+    /// Combined L1 data cache and shared memory capacity, in MB.
+    pub l1_and_shared_mb: f64,
+    /// L2 cache capacity, in MB.
+    pub l2_mb: f64,
+    /// Total register-file capacity across all SMs, in MB.
+    pub register_file_mb: f64,
+}
+
+impl GpuGeneration {
+    /// Total on-chip memory, in MB.
+    #[must_use]
+    pub fn total_mb(&self) -> f64 {
+        self.l1_and_shared_mb + self.l2_mb + self.register_file_mb
+    }
+
+    /// Fraction of on-chip memory devoted to the register file.
+    #[must_use]
+    pub fn register_file_share(&self) -> f64 {
+        self.register_file_mb / self.total_mb()
+    }
+}
+
+impl fmt::Display for GpuGeneration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} ({}): {:.1} MB RF / {:.1} MB total",
+            self.name,
+            self.year,
+            self.register_file_mb,
+            self.total_mb()
+        )
+    }
+}
+
+/// The four generations plotted in Figure 2.
+#[must_use]
+pub fn figure2_generations() -> &'static [GpuGeneration] {
+    &GENERATIONS
+}
+
+static GENERATIONS: [GpuGeneration; 4] = [
+    GpuGeneration {
+        name: "Fermi",
+        year: 2010,
+        l1_and_shared_mb: 1.0,
+        l2_mb: 0.75,
+        register_file_mb: 2.0,
+    },
+    GpuGeneration {
+        name: "Kepler",
+        year: 2012,
+        l1_and_shared_mb: 1.0,
+        l2_mb: 1.5,
+        register_file_mb: 3.75,
+    },
+    GpuGeneration {
+        name: "Maxwell",
+        year: 2014,
+        l1_and_shared_mb: 2.25,
+        l2_mb: 3.0,
+        register_file_mb: 6.0,
+    },
+    GpuGeneration {
+        name: "Pascal",
+        year: 2016,
+        l1_and_shared_mb: 4.5,
+        l2_mb: 4.0,
+        register_file_mb: 14.3,
+    },
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn four_generations_in_chronological_order() {
+        let gens = figure2_generations();
+        assert_eq!(gens.len(), 4);
+        assert!(gens.windows(2).all(|w| w[0].year < w[1].year));
+    }
+
+    #[test]
+    fn register_file_share_grows_over_time() {
+        let gens = figure2_generations();
+        // The trend is upward overall, with a small dip at Maxwell whose SMs
+        // traded register capacity for larger shared memory.
+        assert!(gens.windows(2).all(|w| {
+            w[0].register_file_share() <= w[1].register_file_share() + 0.08
+        }));
+        // Pascal dedicates more than 60% of on-chip storage to registers.
+        assert!(gens[3].register_file_share() > 0.6);
+        assert!((gens[3].register_file_mb - 14.3).abs() < 1e-9);
+    }
+
+    #[test]
+    fn totals_and_display() {
+        let fermi = figure2_generations()[0];
+        assert!((fermi.total_mb() - 3.75).abs() < 1e-9);
+        assert!(fermi.to_string().contains("Fermi"));
+    }
+}

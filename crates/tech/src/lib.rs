@@ -1,0 +1,43 @@
+//! # ltrf-tech
+//!
+//! Memory-technology timing, area, and power models for the LTRF
+//! reproduction.
+//!
+//! The paper derives its register-file design points (Table 2) from CACTI,
+//! NVSim, and GPUWattch. Those tools are not available here, so this crate
+//! plays their role:
+//!
+//! * [`technology`] describes the four cell technologies the paper explores
+//!   (high-performance SRAM, low-standby-power SRAM, TFET SRAM, and
+//!   domain-wall memory) with relative density, access-energy, leakage, and
+//!   latency parameters.
+//! * [`bank`] is a first-order analytical model of a register-file bank that
+//!   combines a cell technology with a bank size and produces latency, area,
+//!   and energy estimates.
+//! * [`network`] models the operand-delivery network (full crossbar vs.
+//!   flattened butterfly).
+//! * [`configs`] exposes the paper's seven Table 2 register-file
+//!   configurations as calibrated design points; the analytical model is
+//!   sanity-checked against them but experiments use the calibrated values,
+//!   exactly as the paper uses CACTI/NVSim outputs.
+//! * [`power`] converts access counts gathered by the simulator into
+//!   register-file energy and power (the Figure 10 experiment).
+//! * [`generations`] records the on-chip memory breakdown of the four GPU
+//!   generations shown in Figure 2.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod bank;
+pub mod configs;
+pub mod generations;
+pub mod network;
+pub mod power;
+pub mod technology;
+
+pub use bank::BankModel;
+pub use configs::{RegFileConfig, RegFileConfigId};
+pub use network::NetworkTopology;
+pub use power::{AccessCounts, PowerBreakdown, RegFilePowerModel};
+pub use technology::CellTechnology;

@@ -1,0 +1,167 @@
+//! Random workload generation.
+//!
+//! Beyond the fixed evaluated suite, the benchmark harness and the property
+//! tests use randomly generated — but structurally realistic — workloads to
+//! probe the compiler and the register-file organizations over a much wider
+//! space of register pressures, loop shapes, and instruction mixes.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use ltrf_isa::RegisterSensitivity;
+
+use crate::spec::{BenchmarkSuite, MemoryProfile, Workload, WorkloadSpec};
+
+/// Bounds for the random generator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GeneratorConfig {
+    /// Minimum registers per thread.
+    pub min_regs: u16,
+    /// Maximum registers per thread.
+    pub max_regs: u16,
+    /// Maximum outer-loop trip count.
+    pub max_outer_trips: u32,
+    /// Maximum inner-loop trip count.
+    pub max_inner_trips: u32,
+    /// Maximum arithmetic instructions per inner-loop body.
+    pub max_body_alu: usize,
+    /// Maximum global loads per inner-loop body.
+    pub max_body_loads: usize,
+}
+
+impl Default for GeneratorConfig {
+    fn default() -> Self {
+        GeneratorConfig {
+            min_regs: 12,
+            max_regs: 128,
+            max_outer_trips: 8,
+            max_inner_trips: 20,
+            max_body_alu: 20,
+            max_body_loads: 6,
+        }
+    }
+}
+
+/// Deterministic random workload generator.
+#[derive(Debug)]
+pub struct WorkloadGenerator {
+    rng: StdRng,
+    config: GeneratorConfig,
+    counter: u32,
+}
+
+/// Names handed out to generated workloads (cycled with a numeric suffix).
+static GENERATED_NAMES: &[&str] = &[
+    "gen-dense", "gen-sparse", "gen-tiled", "gen-reduce", "gen-scan", "gen-filter", "gen-sort",
+    "gen-fft",
+];
+
+impl WorkloadGenerator {
+    /// Creates a generator with the default bounds.
+    #[must_use]
+    pub fn new(seed: u64) -> Self {
+        WorkloadGenerator::with_config(seed, GeneratorConfig::default())
+    }
+
+    /// Creates a generator with custom bounds.
+    #[must_use]
+    pub fn with_config(seed: u64, config: GeneratorConfig) -> Self {
+        WorkloadGenerator {
+            rng: StdRng::seed_from_u64(seed),
+            config,
+            counter: 0,
+        }
+    }
+
+    /// Generates the next random workload specification.
+    pub fn next_spec(&mut self) -> WorkloadSpec {
+        let cfg = self.config;
+        let regs = self.rng.gen_range(cfg.min_regs..=cfg.max_regs);
+        let sensitivity = if regs >= 40 {
+            RegisterSensitivity::Sensitive
+        } else {
+            RegisterSensitivity::Insensitive
+        };
+        let memory = match self.rng.gen_range(0..3) {
+            0 => MemoryProfile::Streaming,
+            1 => MemoryProfile::CacheResident,
+            _ => MemoryProfile::Irregular,
+        };
+        let suite = match self.rng.gen_range(0..3) {
+            0 => BenchmarkSuite::CudaSdk,
+            1 => BenchmarkSuite::Rodinia,
+            _ => BenchmarkSuite::Parboil,
+        };
+        let name = GENERATED_NAMES[(self.counter as usize) % GENERATED_NAMES.len()];
+        self.counter += 1;
+        WorkloadSpec {
+            name,
+            suite,
+            regs_per_thread: regs,
+            unconstrained_regs_per_thread: (regs as u32 * 3 / 2).min(256) as u16,
+            sensitivity,
+            outer_trips: self.rng.gen_range(1..=cfg.max_outer_trips),
+            inner_trips: self.rng.gen_range(1..=cfg.max_inner_trips),
+            body_alu: self.rng.gen_range(2..=cfg.max_body_alu),
+            body_loads: self.rng.gen_range(0..=cfg.max_body_loads),
+            body_shared: self.rng.gen_range(0..=4),
+            body_sfu: self.rng.gen_range(0..=2),
+            barrier_per_outer: self.rng.gen_bool(0.4),
+            memory,
+            warps_per_block: 8,
+            blocks_per_grid: self.rng.gen_range(4..=32),
+        }
+    }
+
+    /// Generates the next random workload (specification + built kernel).
+    pub fn next_workload(&mut self) -> Workload {
+        Workload::from_spec(self.next_spec())
+    }
+
+    /// Generates `count` workloads.
+    pub fn generate(&mut self, count: usize) -> Vec<Workload> {
+        (0..count).map(|_| self.next_workload()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        let a: Vec<_> = WorkloadGenerator::new(42).generate(5);
+        let b: Vec<_> = WorkloadGenerator::new(42).generate(5);
+        for (x, y) in a.iter().zip(b.iter()) {
+            assert_eq!(x.spec, y.spec);
+        }
+        let c: Vec<_> = WorkloadGenerator::new(43).generate(5);
+        assert!(a.iter().zip(c.iter()).any(|(x, y)| x.spec != y.spec));
+    }
+
+    #[test]
+    fn generated_workloads_are_valid_and_within_bounds() {
+        let mut gen = WorkloadGenerator::new(7);
+        for w in gen.generate(20) {
+            let cfg = GeneratorConfig::default();
+            assert!(w.spec.regs_per_thread >= cfg.min_regs);
+            assert!(w.spec.regs_per_thread <= cfg.max_regs);
+            assert!(w.kernel.static_instruction_count() > 0);
+            assert!(w.spec.dynamic_instructions_per_warp() > 0);
+        }
+    }
+
+    #[test]
+    fn custom_bounds_are_respected() {
+        let config = GeneratorConfig {
+            min_regs: 64,
+            max_regs: 72,
+            ..GeneratorConfig::default()
+        };
+        let mut gen = WorkloadGenerator::with_config(3, config);
+        for w in gen.generate(10) {
+            assert!((64..=72).contains(&w.spec.regs_per_thread));
+            assert!(w.is_register_sensitive());
+        }
+    }
+}

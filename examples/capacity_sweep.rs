@@ -1,0 +1,46 @@
+//! Capacity sweep: how does each register-file organization respond to the
+//! seven Table 2 design points (growing capacity, growing latency)?
+//!
+//! This reproduces the motivation of the paper in one program: capacity alone
+//! (BL on config #2..#7) does not buy performance once the latency grows,
+//! while LTRF keeps the benefit.
+//!
+//! Run with `cargo run --release --example capacity_sweep`.
+
+use ltrf::core::{run_normalized, ExperimentConfig, Organization};
+use ltrf::tech::RegFileConfig;
+use ltrf::workloads::by_name;
+
+fn main() {
+    let workload = by_name("lud").expect("lud is part of the evaluated suite");
+    println!(
+        "workload: {} — IPC normalized to the baseline 256 KB SRAM register file\n",
+        workload.name()
+    );
+    println!("{:<8} {:>10} {:>10} {:>10} {:>10}", "config", "capacity", "latency", "BL", "LTRF");
+    for config in RegFileConfig::table2() {
+        let bl = run_normalized(
+            &workload.kernel,
+            workload.memory(),
+            7,
+            &ExperimentConfig::for_table2(Organization::Baseline, config.id.0),
+        )
+        .expect("baseline run");
+        let ltrf = run_normalized(
+            &workload.kernel,
+            workload.memory(),
+            7,
+            &ExperimentConfig::for_table2(Organization::Ltrf, config.id.0),
+        )
+        .expect("ltrf run");
+        println!(
+            "{:<8} {:>9.0}x {:>9.1}x {:>10.2} {:>10.2}",
+            config.id.to_string(),
+            config.capacity_factor,
+            config.latency_factor,
+            bl.normalized_ipc,
+            ltrf.normalized_ipc
+        );
+    }
+    println!("\nThe conventional design loses its capacity gains as latency grows; LTRF does not.");
+}

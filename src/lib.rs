@@ -1,0 +1,38 @@
+//! # ltrf
+//!
+//! Umbrella crate of the LTRF reproduction (*LTRF: Enabling High-Capacity
+//! Register Files for GPUs via Hardware/Software Cooperative Register
+//! Prefetching*, ASPLOS 2018). It re-exports the workspace crates under one
+//! roof so examples, integration tests, and downstream users can depend on a
+//! single crate:
+//!
+//! * [`isa`] — the synthetic GPU ISA and kernel IR,
+//! * [`compiler`] — register-interval formation, liveness, strands, and
+//!   PREFETCH scheduling,
+//! * [`tech`] — memory-technology timing/area/power models,
+//! * [`sim`] — the cycle-level SM timing simulator,
+//! * [`core`] — the register-file organizations (BL, RFC, SHRF, LTRF, LTRF+,
+//!   Ideal) and the experiment runner,
+//! * [`workloads`] — the synthetic benchmark suite.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use ltrf::core::{run_normalized, ExperimentConfig, Organization};
+//! use ltrf::workloads::by_name;
+//!
+//! let workload = by_name("hotspot").expect("hotspot is in the suite");
+//! let config = ExperimentConfig::for_table2(Organization::Ltrf, 7);
+//! let result = run_normalized(&workload.kernel, workload.memory(), 1, &config).unwrap();
+//! assert!(result.normalized_ipc > 0.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use ltrf_compiler as compiler;
+pub use ltrf_core as core;
+pub use ltrf_isa as isa;
+pub use ltrf_sim as sim;
+pub use ltrf_tech as tech;
+pub use ltrf_workloads as workloads;

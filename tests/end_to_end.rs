@@ -1,0 +1,160 @@
+//! End-to-end integration tests spanning every crate: workload construction →
+//! compilation → simulation → power accounting, for each register-file
+//! organization.
+
+use ltrf::core::{
+    run_experiment, run_normalized, ExperimentConfig, Organization,
+};
+use ltrf::sim::MemoryBehavior;
+use ltrf::workloads::{by_name, WorkloadGenerator};
+
+/// Small, fast workloads used by the integration tests (debug builds simulate
+/// slowly, so we avoid the heavyweight suite members).
+fn small_workloads() -> Vec<ltrf::workloads::Workload> {
+    ["btree", "histo", "pathfinder"]
+        .iter()
+        .map(|n| by_name(n).expect("workload exists"))
+        .collect()
+}
+
+#[test]
+fn every_organization_runs_every_small_workload() {
+    for workload in small_workloads() {
+        for &org in Organization::all() {
+            let config = ExperimentConfig::for_table2(org, 6);
+            let result = run_experiment(&workload.kernel, workload.memory(), 1, &config)
+                .unwrap_or_else(|e| panic!("{org} on {} failed: {e}", workload.name()));
+            assert!(
+                result.ipc > 0.0,
+                "{org} on {} produced no progress",
+                workload.name()
+            );
+            assert!(
+                !result.stats.truncated,
+                "{org} on {} hit the cycle cap",
+                workload.name()
+            );
+            assert_eq!(
+                result.stats.warps_completed, result.stats.warps_resident,
+                "{org} on {} did not finish all warps",
+                workload.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn ltrf_recovers_most_of_the_ideal_gain_on_config7() {
+    // The paper's headline: on the 8x-capacity 6.3x-latency DWM register
+    // file, LTRF performs close to the ideal register file while the
+    // conventional design does not.
+    let workload = by_name("hotspot").expect("hotspot exists");
+    let bl = run_normalized(
+        &workload.kernel,
+        workload.memory(),
+        2,
+        &ExperimentConfig::for_table2(Organization::Baseline, 7),
+    )
+    .unwrap();
+    let ltrf = run_normalized(
+        &workload.kernel,
+        workload.memory(),
+        2,
+        &ExperimentConfig::for_table2(Organization::Ltrf, 7),
+    )
+    .unwrap();
+    let ideal = run_normalized(
+        &workload.kernel,
+        workload.memory(),
+        2,
+        &ExperimentConfig::for_table2(Organization::Ideal, 7),
+    )
+    .unwrap();
+    assert!(
+        ltrf.normalized_ipc > bl.normalized_ipc,
+        "LTRF ({}) must beat the conventional design ({}) on a slow register file",
+        ltrf.normalized_ipc,
+        bl.normalized_ipc
+    );
+    assert!(
+        ltrf.normalized_ipc >= ideal.normalized_ipc * 0.80,
+        "LTRF ({}) should recover most of the ideal gain ({})",
+        ltrf.normalized_ipc,
+        ideal.normalized_ipc
+    );
+}
+
+#[test]
+fn ltrf_plus_uses_no_more_mrf_traffic_than_ltrf() {
+    let workload = by_name("pathfinder").expect("pathfinder exists");
+    let ltrf = run_experiment(
+        &workload.kernel,
+        workload.memory(),
+        3,
+        &ExperimentConfig::for_table2(Organization::Ltrf, 7),
+    )
+    .unwrap();
+    let plus = run_experiment(
+        &workload.kernel,
+        workload.memory(),
+        3,
+        &ExperimentConfig::for_table2(Organization::LtrfPlus, 7),
+    )
+    .unwrap();
+    let ltrf_mrf = ltrf.stats.regfile_accesses.mrf_total();
+    let plus_mrf = plus.stats.regfile_accesses.mrf_total();
+    assert!(
+        plus_mrf <= ltrf_mrf,
+        "liveness awareness must not add main-register-file traffic ({plus_mrf} vs {ltrf_mrf})"
+    );
+}
+
+#[test]
+fn ltrf_filters_most_mrf_accesses() {
+    // §4.2: LTRF reduces the number of accesses to the main register file by
+    // 4x-6x relative to the baseline (less for irregular, load-dominated
+    // kernels whose warps swap in and out of the active pool constantly).
+    let workload = by_name("pathfinder").expect("pathfinder exists");
+    let bl = run_experiment(
+        &workload.kernel,
+        workload.memory(),
+        4,
+        &ExperimentConfig::for_table2(Organization::Baseline, 6),
+    )
+    .unwrap();
+    let ltrf = run_experiment(
+        &workload.kernel,
+        workload.memory(),
+        4,
+        &ExperimentConfig::for_table2(Organization::Ltrf, 6),
+    )
+    .unwrap();
+    let bl_mrf = bl.stats.regfile_accesses.mrf_total() as f64;
+    let ltrf_mrf = ltrf.stats.regfile_accesses.mrf_total() as f64;
+    assert!(
+        bl_mrf / ltrf_mrf > 2.0,
+        "LTRF should cut main-register-file traffic substantially ({bl_mrf} vs {ltrf_mrf})"
+    );
+}
+
+#[test]
+fn generated_workloads_survive_the_full_pipeline() {
+    let mut generator = WorkloadGenerator::new(2024);
+    for workload in generator.generate(3) {
+        let config = ExperimentConfig::for_table2(Organization::LtrfPlus, 7);
+        let result = run_experiment(
+            &workload.kernel,
+            MemoryBehavior::cache_resident(),
+            5,
+            &config,
+        )
+        .expect("generated workloads must compile and simulate");
+        assert!(result.ipc > 0.0);
+        if let Some(hit_rate) = result.cache_hit_rate {
+            assert!(
+                hit_rate > 0.9,
+                "LTRF+ register-cache hit rate should be near-perfect, got {hit_rate}"
+            );
+        }
+    }
+}
