@@ -10,7 +10,11 @@ fn bench_fig14(c: &mut Criterion) {
     let workload = by_name("histo").expect("histo is in the suite");
     let mut group = c.benchmark_group("fig14");
     group.sample_size(10);
-    for org in [Organization::Rfc, Organization::LtrfStrand, Organization::Ltrf] {
+    for org in [
+        Organization::Rfc,
+        Organization::LtrfStrand,
+        Organization::Ltrf,
+    ] {
         group.bench_function(format!("histo_{}_at_6.3x", org.label()), |b| {
             b.iter(|| {
                 let config = ExperimentConfig::new(org).with_latency_factor(6.3);

@@ -10,7 +10,12 @@ fn main() {
         .map(|r| {
             vec![
                 r.workload.to_string(),
-                if r.register_sensitive { "sensitive" } else { "insensitive" }.to_string(),
+                if r.register_sensitive {
+                    "sensitive"
+                } else {
+                    "insensitive"
+                }
+                .to_string(),
                 format!("{:.2}", r.rfc),
                 format!("{:.2}", r.ltrf),
                 format!("{:.2}", r.ltrf_plus),

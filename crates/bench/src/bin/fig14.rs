@@ -4,7 +4,9 @@
 use ltrf_bench::{figure14, format_table, SuiteSelection};
 
 fn main() {
-    println!("Figure 14: normalized IPC vs. main register-file latency, by register-caching scheme\n");
+    println!(
+        "Figure 14: normalized IPC vs. main register-file latency, by register-caching scheme\n"
+    );
     let series = figure14(SuiteSelection::Full);
     let factors: Vec<String> = series[0]
         .points

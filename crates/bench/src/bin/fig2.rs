@@ -20,7 +20,14 @@ fn main() {
     println!(
         "{}",
         format_table(
-            &["Generation", "L1D+Shared (MB)", "L2 (MB)", "Register file (MB)", "Total (MB)", "RF share"],
+            &[
+                "Generation",
+                "L1D+Shared (MB)",
+                "L2 (MB)",
+                "Register file (MB)",
+                "Total (MB)",
+                "RF share"
+            ],
             &rows
         )
     );

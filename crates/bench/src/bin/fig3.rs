@@ -4,13 +4,20 @@ use ltrf_bench::{figure3, format_table, mean, SuiteSelection};
 
 fn main() {
     let rows = figure3(SuiteSelection::Full);
-    println!("Figure 3: 8x register file (TFET SRAM, configuration #6), IPC normalized to baseline\n");
+    println!(
+        "Figure 3: 8x register file (TFET SRAM, configuration #6), IPC normalized to baseline\n"
+    );
     let table: Vec<Vec<String>> = rows
         .iter()
         .map(|r| {
             vec![
                 r.workload.to_string(),
-                if r.register_sensitive { "sensitive" } else { "insensitive" }.to_string(),
+                if r.register_sensitive {
+                    "sensitive"
+                } else {
+                    "insensitive"
+                }
+                .to_string(),
                 format!("{:.2}", r.ideal_normalized_ipc),
                 format!("{:.2}", r.real_normalized_ipc),
             ]
@@ -19,13 +26,28 @@ fn main() {
     println!(
         "{}",
         format_table(
-            &["Workload", "Category", "Ideal TFET-SRAM", "TFET-SRAM (real latency)"],
+            &[
+                "Workload",
+                "Category",
+                "Ideal TFET-SRAM",
+                "TFET-SRAM (real latency)"
+            ],
             &table
         )
     );
     let sensitive: Vec<_> = rows.iter().filter(|r| r.register_sensitive).collect();
-    let ideal_avg = mean(&sensitive.iter().map(|r| r.ideal_normalized_ipc).collect::<Vec<_>>());
-    let real_avg = mean(&sensitive.iter().map(|r| r.real_normalized_ipc).collect::<Vec<_>>());
+    let ideal_avg = mean(
+        &sensitive
+            .iter()
+            .map(|r| r.ideal_normalized_ipc)
+            .collect::<Vec<_>>(),
+    );
+    let real_avg = mean(
+        &sensitive
+            .iter()
+            .map(|r| r.real_normalized_ipc)
+            .collect::<Vec<_>>(),
+    );
     println!(
         "\nRegister-sensitive average: ideal {ideal_avg:.2}x, real {real_avg:.2}x (paper: ideal ~1.37x; real loses most of the gain)"
     );

@@ -10,7 +10,12 @@ fn main() {
         .map(|r| {
             vec![
                 r.workload.to_string(),
-                if r.register_sensitive { "sensitive" } else { "insensitive" }.to_string(),
+                if r.register_sensitive {
+                    "sensitive"
+                } else {
+                    "insensitive"
+                }
+                .to_string(),
                 format!("{:.0}%", r.hw_hit_rate * 100.0),
                 format!("{:.0}%", r.sw_hit_rate * 100.0),
                 format!("{:.0}%", r.ltrf_hit_rate * 100.0),
@@ -20,7 +25,13 @@ fn main() {
     println!(
         "{}",
         format_table(
-            &["Workload", "Category", "HW cache (RFC)", "SW cache (SHRF)", "LTRF"],
+            &[
+                "Workload",
+                "Category",
+                "HW cache (RFC)",
+                "SW cache (SHRF)",
+                "LTRF"
+            ],
             &table
         )
     );

@@ -4,14 +4,21 @@
 use ltrf_bench::{figure9, format_table, mean, Fig9Row, SuiteSelection};
 
 fn print_config(config_id: u8, rows: &[Fig9Row]) {
-    println!("\nFigure 9{}: configuration #{config_id}, IPC normalized to baseline\n",
-        if config_id == 6 { 'a' } else { 'b' });
+    println!(
+        "\nFigure 9{}: configuration #{config_id}, IPC normalized to baseline\n",
+        if config_id == 6 { 'a' } else { 'b' }
+    );
     let table: Vec<Vec<String>> = rows
         .iter()
         .map(|r| {
             vec![
                 r.workload.to_string(),
-                if r.register_sensitive { "sensitive" } else { "insensitive" }.to_string(),
+                if r.register_sensitive {
+                    "sensitive"
+                } else {
+                    "insensitive"
+                }
+                .to_string(),
                 format!("{:.2}", r.bl),
                 format!("{:.2}", r.rfc),
                 format!("{:.2}", r.ltrf),

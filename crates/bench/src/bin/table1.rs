@@ -15,11 +15,7 @@ fn main() {
                     r.architecture.name,
                     r.architecture.baseline_regfile_bytes / 1024
                 ),
-                format!(
-                    "{}KB ({:.1}x)",
-                    r.average_bytes / 1024,
-                    r.average_factor()
-                ),
+                format!("{}KB ({:.1}x)", r.average_bytes / 1024, r.average_factor()),
                 format!("{}KB ({:.1}x)", r.max_bytes / 1024, r.max_factor()),
             ]
         })

@@ -26,8 +26,17 @@ fn main() {
         "{}",
         format_table(
             &[
-                "Config", "Cell Tech", "#Banks", "Bank Size", "Network", "Cap.", "Area", "Power",
-                "Cap/Area", "Cap/Power", "Latency"
+                "Config",
+                "Cell Tech",
+                "#Banks",
+                "Bank Size",
+                "Network",
+                "Cap.",
+                "Area",
+                "Power",
+                "Cap/Area",
+                "Cap/Power",
+                "Latency"
             ],
             &rows
         )

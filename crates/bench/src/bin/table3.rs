@@ -6,11 +6,23 @@ fn main() {
     let c = table3();
     println!("Table 3: simulated system configuration\n");
     println!("Core clock                  {} MHz", c.core_clock_mhz);
-    println!("Scheduler                   Two-level ({} active warps)", c.active_warps);
+    println!(
+        "Scheduler                   Two-level ({} active warps)",
+        c.active_warps
+    );
     println!("Warps per SM                {}", c.max_warps);
-    println!("Register file size          {} KB per SM", c.regfile_bytes / 1024);
-    println!("Register file cache size    {} KB per SM", c.regfile_cache_bytes / 1024);
-    println!("Shared memory size          {} KB per SM", c.shared_mem_bytes / 1024);
+    println!(
+        "Register file size          {} KB per SM",
+        c.regfile_bytes / 1024
+    );
+    println!(
+        "Register file cache size    {} KB per SM",
+        c.regfile_cache_bytes / 1024
+    );
+    println!(
+        "Shared memory size          {} KB per SM",
+        c.shared_mem_bytes / 1024
+    );
     println!(
         "L1D cache                   {}-way, {} KB, {} B lines",
         c.memory.l1d_ways,

@@ -31,7 +31,12 @@ fn main() {
         )
     );
     let real_avg = mean(&rows.iter().map(|r| r.report.real.mean).collect::<Vec<_>>());
-    let opt_avg = mean(&rows.iter().map(|r| r.report.optimal.mean).collect::<Vec<_>>());
+    let opt_avg = mean(
+        &rows
+            .iter()
+            .map(|r| r.report.optimal.mean)
+            .collect::<Vec<_>>(),
+    );
     println!(
         "\nSuite average: real {real_avg:.1}, optimal {opt_avg:.1}, ratio {:.0}%",
         real_avg / opt_avg * 100.0

@@ -1,16 +1,28 @@
 //! One function per table and figure of the paper.
+//!
+//! Every simulation-backed figure builds a declarative [`SweepSpec`]
+//! cross-product and hands it to the `ltrf-sweep` engine, which shards the
+//! matrix across cores with panic isolation; the functions here only pivot
+//! the engine's records into the paper's row shapes. Compiler-only studies
+//! (Table 4, §4.3 overheads) use the engine's raw parallel primitive.
+
+use std::collections::HashMap;
 
 use serde::Serialize;
 
 use ltrf_core::{
-    capacity_requirement, latency_sweep, overhead_report, paper_latency_factors, CapacityRequirement,
+    capacity_requirement, overhead_report, paper_latency_factors, CapacityRequirement,
     ExperimentConfig, GpuArchitecture, Organization, OverheadInputs, OverheadReport,
 };
 use ltrf_isa::RegisterSensitivity;
 use ltrf_sim::GpuConfig;
+use ltrf_sweep::{
+    run_sweep, ExecutorOptions, MemorySelection, PointData, SeedMode, SweepResults, SweepSpec,
+    SweepSpecBuilder,
+};
 use ltrf_tech::configs::RegFileConfig;
 use ltrf_tech::generations::{figure2_generations, GpuGeneration};
-use ltrf_workloads::{evaluated_suite, unconstrained_register_demands, Workload};
+use ltrf_workloads::{evaluated_suite, quick_suite, unconstrained_register_demands, Workload};
 
 /// Which part of the workload suite an experiment runs over.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -25,34 +37,117 @@ pub enum SuiteSelection {
 /// Returns the workloads selected by `selection`.
 #[must_use]
 pub fn suite(selection: SuiteSelection) -> Vec<Workload> {
-    let all = evaluated_suite();
     match selection {
-        SuiteSelection::Full => all,
-        SuiteSelection::Quick => all
-            .into_iter()
-            .filter(|w| matches!(w.name(), "hotspot" | "pathfinder" | "btree" | "histo"))
-            .collect(),
+        SuiteSelection::Full => evaluated_suite(),
+        SuiteSelection::Quick => quick_suite(),
     }
 }
 
 /// Runs `f` over the workloads in parallel and collects the results in suite
-/// order.
+/// order, via the `ltrf-sweep` execution engine.
+///
+/// A workload whose experiment fails (panic or error) is reported on stderr
+/// and dropped from the rows instead of killing the whole figure — the
+/// engine's panic isolation replaces the old `std::thread::scope` fan-out
+/// that aborted on the first panicking thread.
 fn par_map<T, F>(workloads: &[Workload], f: F) -> Vec<T>
 where
     T: Send,
     F: Fn(&Workload) -> T + Sync,
 {
-    std::thread::scope(|scope| {
-        let handles: Vec<_> = workloads
-            .iter()
-            .map(|w| scope.spawn(|| f(w)))
-            .collect();
-        handles.into_iter().map(|h| h.join().expect("experiment thread panicked")).collect()
-    })
+    ltrf_sweep::parallel_points(workloads, None, f)
+        .into_iter()
+        .zip(workloads)
+        .filter_map(|(outcome, workload)| match outcome {
+            Ok(row) => Some(row),
+            Err(panic_msg) => {
+                eprintln!(
+                    "experiment on `{}` failed and was skipped: {panic_msg}",
+                    workload.name()
+                );
+                None
+            }
+        })
+        .collect()
 }
 
-/// Seed used by every experiment so results are reproducible run to run.
-const SEED: u64 = 0x17F2_2018;
+/// Seed used by every experiment so results are reproducible run to run
+/// (and cache-compatible with the `sweep` CLI's campaigns).
+const SEED: u64 = ltrf_sweep::CAMPAIGN_SEED;
+
+// ---------------------------------------------------------------------------
+// Sweep plumbing shared by the simulation-backed figures
+// ---------------------------------------------------------------------------
+
+/// Starts a sweep-spec builder over the given workloads with the harness's
+/// fixed campaign seed.
+fn figure_sweep(name: &str, workloads: &[Workload]) -> SweepSpecBuilder {
+    let names: Vec<String> = workloads.iter().map(|w| w.name().to_string()).collect();
+    SweepSpec::builder(name)
+        .workloads(names)
+        .seed_mode(SeedMode::Fixed(SEED))
+}
+
+/// Runs a figure's spec on the in-process engine (all cores, no cache: the
+/// `sweep` CLI is the cached entry point; figure functions stay
+/// side-effect-free).
+fn run_figure_spec(spec: &SweepSpec) -> SweepResults {
+    let results = run_sweep(spec, &ExecutorOptions::default());
+    for record in results.records.iter().filter(|r| r.outcome.is_failure()) {
+        eprintln!(
+            "{}: point `{}`/{} failed: {:?}",
+            spec.name,
+            record.point.workload,
+            record.point.config.organization.label(),
+            record.outcome
+        );
+    }
+    results
+}
+
+/// Successful points indexed by workload, memory selection, and the
+/// configuration's canonical cache-key material — the same full-field
+/// identity `ltrf-sweep` content-addresses with, so two distinct points can
+/// never collide in the index no matter which axes a figure sweeps.
+struct ResultIndex {
+    map: HashMap<(String, MemorySelection, String), PointData>,
+}
+
+impl ResultIndex {
+    fn new(results: &SweepResults) -> Self {
+        let map = results
+            .successes()
+            .map(|(record, data)| {
+                (
+                    (
+                        record.point.workload.clone(),
+                        record.point.memory,
+                        record.point.config.cache_key_material(),
+                    ),
+                    *data,
+                )
+            })
+            .collect();
+        ResultIndex { map }
+    }
+
+    /// The point for `workload` under `config`, with the workload's default
+    /// memory behaviour. `config` must be constructed the same way the
+    /// spec's points were (the builders here always are).
+    fn get(&self, workload: &str, config: &ExperimentConfig) -> Option<&PointData> {
+        self.map.get(&(
+            workload.to_string(),
+            MemorySelection::WorkloadDefault,
+            config.cache_key_material(),
+        ))
+    }
+
+    /// The point for `workload` under `org` on Table 2 configuration
+    /// `config_id` (default interval/warp axes).
+    fn at(&self, workload: &str, org: Organization, config_id: u8) -> Option<&PointData> {
+        self.get(workload, &ExperimentConfig::for_table2(org, config_id))
+    }
+}
 
 // ---------------------------------------------------------------------------
 // Table 1 — register-file capacity required for maximum TLP
@@ -167,28 +262,40 @@ pub struct Fig3Row {
 #[must_use]
 pub fn figure3(selection: SuiteSelection) -> Vec<Fig3Row> {
     let workloads = suite(selection);
-    par_map(&workloads, |w| {
-        let ideal = ltrf_core::run_normalized(
-            &w.kernel,
-            w.memory(),
-            SEED,
-            &ExperimentConfig::for_table2(Organization::Ideal, 6),
-        )
-        .expect("ideal run");
-        let real = ltrf_core::run_normalized(
-            &w.kernel,
-            w.memory(),
-            SEED,
-            &ExperimentConfig::for_table2(Organization::Baseline, 6),
-        )
-        .expect("baseline run");
-        Fig3Row {
+    let spec = figure_sweep("fig3", &workloads)
+        .organizations([Organization::Ideal, Organization::Baseline])
+        .config_ids([6])
+        .normalize(true)
+        .build();
+    let index = ResultIndex::new(&run_figure_spec(&spec));
+    rows_per_workload(&workloads, |w| {
+        let ideal = index.at(w.name(), Organization::Ideal, 6)?;
+        let real = index.at(w.name(), Organization::Baseline, 6)?;
+        Some(Fig3Row {
             workload: w.name(),
             register_sensitive: w.is_register_sensitive(),
-            ideal_normalized_ipc: ideal.normalized_ipc,
-            real_normalized_ipc: real.normalized_ipc,
-        }
+            ideal_normalized_ipc: ideal.normalized_ipc.unwrap_or(0.0),
+            real_normalized_ipc: real.normalized_ipc.unwrap_or(0.0),
+        })
     })
+}
+
+/// Builds one row per selected workload, skipping (with a note) workloads
+/// whose points failed.
+fn rows_per_workload<T>(
+    workloads: &[Workload],
+    mut build: impl FnMut(&Workload) -> Option<T>,
+) -> Vec<T> {
+    workloads
+        .iter()
+        .filter_map(|w| {
+            let row = build(w);
+            if row.is_none() {
+                eprintln!("`{}` dropped: one of its sweep points failed", w.name());
+            }
+            row
+        })
+        .collect()
 }
 
 // ---------------------------------------------------------------------------
@@ -215,25 +322,27 @@ pub struct Fig4Row {
 #[must_use]
 pub fn figure4(selection: SuiteSelection) -> Vec<Fig4Row> {
     let workloads = suite(selection);
-    par_map(&workloads, |w| {
-        let hit = |org: Organization| {
-            ltrf_core::run_experiment(
-                &w.kernel,
-                w.memory(),
-                SEED,
-                &ExperimentConfig::for_table2(org, 1),
-            )
-            .expect("run")
-            .cache_hit_rate
-            .unwrap_or(0.0)
-        };
-        Fig4Row {
+    let spec = figure_sweep("fig4", &workloads)
+        .organizations([Organization::Rfc, Organization::Shrf, Organization::Ltrf])
+        .config_ids([1])
+        .normalize(false)
+        .build();
+    let index = ResultIndex::new(&run_figure_spec(&spec));
+    // A missing point drops the row (`?`); only a present point without a
+    // cache statistic reads as a genuine 0% hit rate.
+    let hit = |w: &Workload, org: Organization| {
+        index
+            .at(w.name(), org, 1)
+            .map(|d| d.result.cache_hit_rate.unwrap_or(0.0))
+    };
+    rows_per_workload(&workloads, |w| {
+        Some(Fig4Row {
             workload: w.name(),
             register_sensitive: w.is_register_sensitive(),
-            hw_hit_rate: hit(Organization::Rfc),
-            sw_hit_rate: hit(Organization::Shrf),
-            ltrf_hit_rate: hit(Organization::Ltrf),
-        }
+            hw_hit_rate: hit(w, Organization::Rfc)?,
+            sw_hit_rate: hit(w, Organization::Shrf)?,
+            ltrf_hit_rate: hit(w, Organization::Ltrf)?,
+        })
     })
 }
 
@@ -265,26 +374,33 @@ pub struct Fig9Row {
 #[must_use]
 pub fn figure9(selection: SuiteSelection, config_id: u8) -> Vec<Fig9Row> {
     let workloads = suite(selection);
-    par_map(&workloads, |w| {
+    let spec = figure_sweep("fig9", &workloads)
+        .organizations([
+            Organization::Baseline,
+            Organization::Rfc,
+            Organization::Ltrf,
+            Organization::LtrfPlus,
+            Organization::Ideal,
+        ])
+        .config_ids([config_id])
+        .normalize(true)
+        .build();
+    let index = ResultIndex::new(&run_figure_spec(&spec));
+    rows_per_workload(&workloads, |w| {
         let norm = |org: Organization| {
-            ltrf_core::run_normalized(
-                &w.kernel,
-                w.memory(),
-                SEED,
-                &ExperimentConfig::for_table2(org, config_id),
-            )
-            .expect("run")
-            .normalized_ipc
+            index
+                .at(w.name(), org, config_id)
+                .and_then(|d| d.normalized_ipc)
         };
-        Fig9Row {
+        Some(Fig9Row {
             workload: w.name(),
             register_sensitive: w.is_register_sensitive(),
-            bl: norm(Organization::Baseline),
-            rfc: norm(Organization::Rfc),
-            ltrf: norm(Organization::Ltrf),
-            ltrf_plus: norm(Organization::LtrfPlus),
-            ideal: norm(Organization::Ideal),
-        }
+            bl: norm(Organization::Baseline)?,
+            rfc: norm(Organization::Rfc)?,
+            ltrf: norm(Organization::Ltrf)?,
+            ltrf_plus: norm(Organization::LtrfPlus)?,
+            ideal: norm(Organization::Ideal)?,
+        })
     })
 }
 
@@ -311,24 +427,25 @@ pub struct Fig10Row {
 #[must_use]
 pub fn figure10(selection: SuiteSelection) -> Vec<Fig10Row> {
     let workloads = suite(selection);
-    par_map(&workloads, |w| {
-        let norm = |org: Organization| {
-            ltrf_core::run_normalized(
-                &w.kernel,
-                w.memory(),
-                SEED,
-                &ExperimentConfig::for_table2(org, 7),
-            )
-            .expect("run")
-            .normalized_power
-        };
-        Fig10Row {
+    let spec = figure_sweep("fig10", &workloads)
+        .organizations([
+            Organization::Rfc,
+            Organization::Ltrf,
+            Organization::LtrfPlus,
+        ])
+        .config_ids([7])
+        .normalize(true)
+        .build();
+    let index = ResultIndex::new(&run_figure_spec(&spec));
+    rows_per_workload(&workloads, |w| {
+        let norm = |org: Organization| index.at(w.name(), org, 7).and_then(|d| d.normalized_power);
+        Some(Fig10Row {
             workload: w.name(),
             register_sensitive: w.is_register_sensitive(),
-            rfc: norm(Organization::Rfc),
-            ltrf: norm(Organization::Ltrf),
-            ltrf_plus: norm(Organization::LtrfPlus),
-        }
+            rfc: norm(Organization::Rfc)?,
+            ltrf: norm(Organization::Ltrf)?,
+            ltrf_plus: norm(Organization::LtrfPlus)?,
+        })
     })
 }
 
@@ -341,42 +458,86 @@ pub fn figure10(selection: SuiteSelection) -> Vec<Fig10Row> {
 pub struct Fig11Row {
     /// Workload name.
     pub workload: &'static str,
-    /// Maximum tolerable latency of BL at 5% IPC loss.
+    /// Maximum tolerable latency of BL at the allowed IPC loss.
     pub bl: f64,
-    /// Maximum tolerable latency of RFC at 5% IPC loss.
+    /// Maximum tolerable latency of RFC at the allowed IPC loss.
     pub rfc: f64,
-    /// Maximum tolerable latency of LTRF at 5% IPC loss.
+    /// Maximum tolerable latency of LTRF at the allowed IPC loss.
     pub ltrf: f64,
-    /// Maximum tolerable latency of LTRF+ at 5% IPC loss.
+    /// Maximum tolerable latency of LTRF+ at the allowed IPC loss.
     pub ltrf_plus: f64,
+}
+
+/// The latency-sweep matrix shared by Figures 11–14: organizations ×
+/// latency factors (and optionally interval-size/warp axes) on
+/// configuration #1, un-normalized.
+fn latency_matrix(
+    name: &str,
+    workloads: &[Workload],
+    organizations: impl IntoIterator<Item = Organization>,
+) -> SweepSpecBuilder {
+    figure_sweep(name, workloads)
+        .organizations(organizations)
+        .config_ids([1])
+        .latency_factors(paper_latency_factors().into_iter().map(Some))
+        .normalize(false)
+}
+
+/// Largest factor whose relative IPC stays within `allowed_loss`, via the
+/// core [`ltrf_core::LatencySweep`] definition (the single source of truth
+/// for the tolerance metric). `None` if any factor's point is missing.
+fn max_tolerable(
+    index: &ResultIndex,
+    workload: &str,
+    base: &ExperimentConfig,
+    factors: &[f64],
+    allowed_loss: f64,
+) -> Option<f64> {
+    let ipc_points = factors
+        .iter()
+        .map(|&factor| {
+            let ipc = index
+                .get(workload, &base.with_latency_factor(factor))?
+                .result
+                .ipc;
+            Some((factor, ipc))
+        })
+        .collect::<Option<Vec<_>>>()?;
+    ltrf_core::LatencySweep::from_ipc_points(base.organization, &ipc_points)
+        .map(|sweep| sweep.max_tolerable_latency(allowed_loss))
 }
 
 /// Runs the Figure 11 experiment with the given allowed IPC loss (the paper
 /// uses 5%, with 1% and 10% variants in the text).
 #[must_use]
 pub fn figure11(selection: SuiteSelection, allowed_loss: f64) -> Vec<Fig11Row> {
+    let organizations = [
+        Organization::Baseline,
+        Organization::Rfc,
+        Organization::Ltrf,
+        Organization::LtrfPlus,
+    ];
     let workloads = suite(selection);
+    let spec = latency_matrix("fig11", &workloads, organizations).build();
+    let index = ResultIndex::new(&run_figure_spec(&spec));
     let factors = paper_latency_factors();
-    par_map(&workloads, |w| {
+    rows_per_workload(&workloads, |w| {
         let tolerance = |org: Organization| {
-            latency_sweep(
-                &w.kernel,
-                w.memory(),
-                SEED,
-                org,
-                &factors,
+            max_tolerable(
+                &index,
+                w.name(),
                 &ExperimentConfig::new(org),
+                &factors,
+                allowed_loss,
             )
-            .expect("sweep")
-            .max_tolerable_latency(allowed_loss)
         };
-        Fig11Row {
+        Some(Fig11Row {
             workload: w.name(),
-            bl: tolerance(Organization::Baseline),
-            rfc: tolerance(Organization::Rfc),
-            ltrf: tolerance(Organization::Ltrf),
-            ltrf_plus: tolerance(Organization::LtrfPlus),
-        }
+            bl: tolerance(Organization::Baseline)?,
+            rfc: tolerance(Organization::Rfc)?,
+            ltrf: tolerance(Organization::Ltrf)?,
+            ltrf_plus: tolerance(Organization::LtrfPlus)?,
+        })
     })
 }
 
@@ -393,45 +554,82 @@ pub struct SweepSeries {
     pub points: Vec<(f64, f64)>,
 }
 
-fn averaged_sweep(
+/// Averages each latency factor's relative IPC over the workloads that have
+/// complete curves for `base`, so every point of the series is a mean over
+/// the same workload set (a workload with any failed point is excluded from
+/// the whole series, not just from the factors that failed).
+fn averaged_series(
+    index: &ResultIndex,
     workloads: &[Workload],
-    org: Organization,
     base: &ExperimentConfig,
     factors: &[f64],
     label: String,
 ) -> SweepSeries {
-    let sweeps = par_map(workloads, |w| {
-        latency_sweep(&w.kernel, w.memory(), SEED, org, factors, base).expect("sweep")
-    });
+    let curves: Vec<Vec<f64>> = workloads
+        .iter()
+        .filter_map(|w| {
+            let curve = relative_curve(index, w.name(), base, factors);
+            if curve.is_none() {
+                eprintln!(
+                    "`{}` excluded from series `{label}`: incomplete latency curve",
+                    w.name()
+                );
+            }
+            curve
+        })
+        .collect();
     let points = factors
         .iter()
         .enumerate()
-        .map(|(i, &f)| {
-            let mean = sweeps.iter().map(|s| s.points[i].relative_ipc).sum::<f64>()
-                / sweeps.len().max(1) as f64;
-            (f, mean)
+        .map(|(i, &factor)| {
+            let mean = curves.iter().map(|c| c[i]).sum::<f64>() / (curves.len().max(1)) as f64;
+            (factor, mean)
         })
         .collect();
     SweepSeries { label, points }
+}
+
+/// One workload's relative-IPC curve over `factors` (reference looked up
+/// once). `None` when the reference or any factor's point is missing.
+fn relative_curve(
+    index: &ResultIndex,
+    workload: &str,
+    base: &ExperimentConfig,
+    factors: &[f64],
+) -> Option<Vec<f64>> {
+    let reference = index
+        .get(workload, &base.with_latency_factor(1.0))?
+        .result
+        .ipc;
+    if reference <= 0.0 {
+        return None;
+    }
+    factors
+        .iter()
+        .map(|&factor| {
+            index
+                .get(workload, &base.with_latency_factor(factor))
+                .map(|d| d.result.ipc / reference)
+        })
+        .collect()
 }
 
 /// Figure 12: LTRF IPC vs. main-register-file latency for 8/16/32 registers
 /// per register-interval.
 #[must_use]
 pub fn figure12(selection: SuiteSelection) -> Vec<SweepSeries> {
+    let sizes = [8usize, 16, 32];
     let workloads = suite(selection);
+    let spec = latency_matrix("fig12", &workloads, [Organization::Ltrf])
+        .registers_per_interval(sizes)
+        .build();
+    let index = ResultIndex::new(&run_figure_spec(&spec));
     let factors = paper_latency_factors();
-    [8usize, 16, 32]
+    sizes
         .into_iter()
         .map(|n| {
             let base = ExperimentConfig::new(Organization::Ltrf).with_registers_per_interval(n);
-            averaged_sweep(
-                &workloads,
-                Organization::Ltrf,
-                &base,
-                &factors,
-                format!("{n} regs"),
-            )
+            averaged_series(&index, &workloads, &base, &factors, format!("{n} regs"))
         })
         .collect()
 }
@@ -440,15 +638,20 @@ pub fn figure12(selection: SuiteSelection) -> Vec<SweepSeries> {
 /// warps.
 #[must_use]
 pub fn figure13(selection: SuiteSelection) -> Vec<SweepSeries> {
+    let warp_counts = [4usize, 8, 16];
     let workloads = suite(selection);
+    let spec = latency_matrix("fig13", &workloads, [Organization::Ltrf])
+        .active_warps(warp_counts)
+        .build();
+    let index = ResultIndex::new(&run_figure_spec(&spec));
     let factors = paper_latency_factors();
-    [4usize, 8, 16]
+    warp_counts
         .into_iter()
         .map(|warps| {
             let base = ExperimentConfig::new(Organization::Ltrf).with_active_warps(warps);
-            averaged_sweep(
+            averaged_series(
+                &index,
                 &workloads,
-                Organization::Ltrf,
                 &base,
                 &factors,
                 format!("{warps} warps"),
@@ -461,21 +664,24 @@ pub fn figure13(selection: SuiteSelection) -> Vec<SweepSeries> {
 /// LTRF (strand), and LTRF (register-interval).
 #[must_use]
 pub fn figure14(selection: SuiteSelection) -> Vec<SweepSeries> {
-    let workloads = suite(selection);
-    let factors = paper_latency_factors();
-    [
+    let organizations = [
         Organization::Baseline,
         Organization::Rfc,
         Organization::Shrf,
         Organization::LtrfStrand,
         Organization::Ltrf,
-    ]
-    .into_iter()
-    .map(|org| {
-        let base = ExperimentConfig::new(org);
-        averaged_sweep(&workloads, org, &base, &factors, org.label().to_string())
-    })
-    .collect()
+    ];
+    let workloads = suite(selection);
+    let spec = latency_matrix("fig14", &workloads, organizations).build();
+    let index = ResultIndex::new(&run_figure_spec(&spec));
+    let factors = paper_latency_factors();
+    organizations
+        .into_iter()
+        .map(|org| {
+            let base = ExperimentConfig::new(org);
+            averaged_series(&index, &workloads, &base, &factors, org.label().to_string())
+        })
+        .collect()
 }
 
 // ---------------------------------------------------------------------------
@@ -492,8 +698,8 @@ pub fn overheads(selection: SuiteSelection) -> OverheadReport {
             .expect("suite kernels compile")
             .stats
     });
-    let mean_code_size = stats.iter().map(|s| s.code_size_overhead).sum::<f64>()
-        / stats.len().max(1) as f64;
+    let mean_code_size =
+        stats.iter().map(|s| s.code_size_overhead).sum::<f64>() / stats.len().max(1) as f64;
     let mean_stats = ltrf_compiler::CompileStats {
         code_size_overhead: mean_code_size,
         ..ltrf_compiler::CompileStats::default()
@@ -547,7 +753,11 @@ mod tests {
     #[test]
     fn table4_real_lengths_do_not_exceed_optimal() {
         for row in table4(SuiteSelection::Quick) {
-            assert!(row.report.real.mean > 0.0, "{} has empty intervals", row.workload);
+            assert!(
+                row.report.real.mean > 0.0,
+                "{} has empty intervals",
+                row.workload
+            );
             assert!(
                 row.report.real.mean <= row.report.optimal.mean * 1.01,
                 "{}: real {} > optimal {}",
@@ -565,5 +775,22 @@ mod tests {
         // Synthetic kernels are short, so PREFETCH metadata weighs more than
         // the paper's 7%; guard only against runaway interval counts.
         assert!(report.code_size_overhead > 0.0 && report.code_size_overhead < 0.45);
+    }
+
+    #[test]
+    fn figure9_rows_cover_the_quick_suite_through_the_sweep_engine() {
+        let rows = figure9(SuiteSelection::Quick, 6);
+        assert_eq!(rows.len(), 4);
+        for row in &rows {
+            assert!(row.bl > 0.0 && row.ltrf > 0.0 && row.ideal > 0.0);
+            // The ideal organization cannot lose to the degraded baseline.
+            assert!(
+                row.ideal >= row.bl * 0.99,
+                "{}: ideal {} < bl {}",
+                row.workload,
+                row.ideal,
+                row.bl
+            );
+        }
     }
 }

@@ -222,7 +222,10 @@ mod tests {
         // In the left block, the first instruction reads r0; r0 is not used
         // again on that path, so the operand is dead.
         let left = k.cfg.block(BlockId(1));
-        assert!(left.instructions()[0].is_src_dead(0), "r0 dies at its last use");
+        assert!(
+            left.instructions()[0].is_src_dead(0),
+            "r0 dies at its last use"
+        );
         // The second instruction reads r1, which dies immediately.
         assert!(left.instructions()[1].is_src_dead(0));
         // In the join block the store reads r3 and nothing follows: dead.

@@ -146,7 +146,11 @@ impl RegisterIntervalPartition {
         if self.intervals.is_empty() {
             return 0.0;
         }
-        let total: usize = self.intervals.iter().map(RegisterInterval::working_set_size).sum();
+        let total: usize = self
+            .intervals
+            .iter()
+            .map(RegisterInterval::working_set_size)
+            .sum();
         total as f64 / self.intervals.len() as f64
     }
 
@@ -249,11 +253,7 @@ mod tests {
             blocks: blocks.clone(),
             working_set: cfg.all_registers(),
         };
-        RegisterIntervalPartition::new(
-            vec![interval],
-            vec![IntervalId(0); cfg.block_count()],
-            n,
-        )
+        RegisterIntervalPartition::new(vec![interval], vec![IntervalId(0); cfg.block_count()], n)
     }
 
     #[test]

@@ -84,10 +84,9 @@ impl PrefetchSchedule {
         let block_interval = (0..kernel.cfg.block_count())
             .map(|i| partition.interval_of(BlockId(i as u32)))
             .collect();
-        let original_code_bytes =
-            kernel.static_instruction_count() * code_model.instruction_bytes;
-        let augmented_code_bytes = original_code_bytes
-            + partition.prefetch_site_count() * code_model.bytes_per_site();
+        let original_code_bytes = kernel.static_instruction_count() * code_model.instruction_bytes;
+        let augmented_code_bytes =
+            original_code_bytes + partition.prefetch_site_count() * code_model.bytes_per_site();
         PrefetchSchedule {
             bitvectors,
             block_interval,
@@ -208,7 +207,10 @@ mod tests {
                 found_crossing = true;
             }
         }
-        assert!(found_crossing, "split straight-line kernel must cross intervals");
+        assert!(
+            found_crossing,
+            "split straight-line kernel must cross intervals"
+        );
         assert!(!sched.crosses_interval(b0, b0));
     }
 

@@ -31,7 +31,7 @@ pub fn reduce_intervals(
     let mut working_sets: Vec<_> = partition.intervals().map(|i| i.working_set).collect();
     let entry_interval = partition.interval_of(kernel.cfg.entry()).index();
 
-    fn find(rep: &mut Vec<usize>, mut x: usize) -> usize {
+    fn find(rep: &mut [usize], mut x: usize) -> usize {
         while rep[x] != x {
             rep[x] = rep[rep[x]];
             x = rep[x];
@@ -55,6 +55,8 @@ pub fn reduce_intervals(
                 }
             }
         }
+        #[allow(clippy::needless_range_loop)]
+        // `target` also names intervals, not just indexes `ext_preds`
         for target in 0..interval_count {
             let target_rep = find(&mut rep, target);
             if target_rep != target {

@@ -271,8 +271,8 @@ fn build_partition(
 ) -> RegisterIntervalPartition {
     let mut members: Vec<Vec<BlockId>> = vec![Vec::new(); interval_ws.len()];
     let mut assignment = Vec::with_capacity(cfg.block_count());
-    for idx in 0..cfg.block_count() {
-        let id = states[idx].interval.expect("all blocks assigned");
+    for (idx, state) in states.iter().enumerate().take(cfg.block_count()) {
+        let id = state.interval.expect("all blocks assigned");
         assignment.push(IntervalId(id));
         members[id as usize].push(BlockId(idx as u32));
     }
@@ -375,7 +375,10 @@ mod tests {
         // A is alone in its interval because B has a back edge from C.
         let a_interval = p.interval_of(BlockId(0));
         let b_interval = p.interval_of(BlockId(1));
-        assert_ne!(a_interval, b_interval, "loop header B must start a new interval");
+        assert_ne!(
+            a_interval, b_interval,
+            "loop header B must start a new interval"
+        );
         // B and C share an interval (C's only predecessor is B).
         assert_eq!(p.interval_of(BlockId(2)), b_interval);
     }
@@ -418,7 +421,14 @@ mod tests {
         b.exit(e);
         let kernel = b.build().unwrap();
         let err = form_register_intervals(&kernel, 2).unwrap_err();
-        assert!(matches!(err, CompileError::IntervalBudgetTooSmall { required: 4, budget: 2, .. }));
+        assert!(matches!(
+            err,
+            CompileError::IntervalBudgetTooSmall {
+                required: 4,
+                budget: 2,
+                ..
+            }
+        ));
     }
 
     #[test]

@@ -174,7 +174,10 @@ mod tests {
         let compiled = compile(&kernel, &CompilerOptions::default()).unwrap();
         let lengths = real_interval_lengths(&compiled.kernel, &compiled.partition, 3);
         let total: u64 = lengths.iter().sum();
-        assert_eq!(total, 120, "every dynamic instruction belongs to an interval");
+        assert_eq!(
+            total, 120,
+            "every dynamic instruction belongs to an interval"
+        );
         assert!(lengths.len() >= 2);
     }
 
@@ -204,10 +207,16 @@ mod tests {
         let report = interval_length_report(&compiled.kernel, &compiled.partition, 16, 7);
         let real_total = report.real.mean * report.real.count as f64;
         let optimal_total = report.optimal.mean * report.optimal.count as f64;
-        assert!((real_total - optimal_total).abs() < 1e-6, "both partition the same trace");
-        assert!(report.optimal.mean >= report.real.mean * 0.99,
+        assert!(
+            (real_total - optimal_total).abs() < 1e-6,
+            "both partition the same trace"
+        );
+        assert!(
+            report.optimal.mean >= report.real.mean * 0.99,
             "optimal mean ({}) must be at least the real mean ({})",
-            report.optimal.mean, report.real.mean);
+            report.optimal.mean,
+            report.real.mean
+        );
         assert!(report.mean_ratio() <= 1.01);
         assert!(report.mean_ratio() > 0.0);
     }

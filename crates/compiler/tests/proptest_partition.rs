@@ -10,16 +10,29 @@ use proptest::prelude::*;
 /// a random register footprint.
 #[derive(Debug, Clone)]
 enum Segment {
-    Straight { insts: usize, base_reg: u8 },
-    Loop { insts: usize, base_reg: u8, trips: u32 },
-    Diamond { insts: usize, base_reg: u8 },
+    Straight {
+        insts: usize,
+        base_reg: u8,
+    },
+    Loop {
+        insts: usize,
+        base_reg: u8,
+        trips: u32,
+    },
+    Diamond {
+        insts: usize,
+        base_reg: u8,
+    },
 }
 
 fn arb_segment() -> impl Strategy<Value = Segment> {
     prop_oneof![
         (1usize..12, 0u8..56).prop_map(|(insts, base_reg)| Segment::Straight { insts, base_reg }),
-        (1usize..10, 0u8..56, 1u32..6)
-            .prop_map(|(insts, base_reg, trips)| Segment::Loop { insts, base_reg, trips }),
+        (1usize..10, 0u8..56, 1u32..6).prop_map(|(insts, base_reg, trips)| Segment::Loop {
+            insts,
+            base_reg,
+            trips
+        }),
         (1usize..8, 0u8..56).prop_map(|(insts, base_reg)| Segment::Diamond { insts, base_reg }),
     ]
 }

@@ -35,6 +35,39 @@ pub struct LatencySweep {
 }
 
 impl LatencySweep {
+    /// Assembles a sweep from raw `(latency factor, IPC)` measurements,
+    /// normalizing each point against the 1× factor's IPC. This is the one
+    /// place that curve-to-tolerance assembly lives; every driver (the
+    /// per-figure harness, the `sweep` CLI) goes through it.
+    ///
+    /// Returns `None` when no 1× point is present or its IPC is zero — the
+    /// relative curve would be meaningless.
+    #[must_use]
+    pub fn from_ipc_points(organization: Organization, ipc_points: &[(f64, f64)]) -> Option<Self> {
+        let reference = ipc_points
+            .iter()
+            .find(|(factor, _)| (*factor - 1.0).abs() < 1e-12)
+            .map(|&(_, ipc)| ipc)
+            .filter(|&ipc| ipc > 0.0)?;
+        let mut points: Vec<LatencySweepPoint> = ipc_points
+            .iter()
+            .map(|&(latency_factor, ipc)| LatencySweepPoint {
+                latency_factor,
+                ipc,
+                relative_ipc: ipc / reference,
+            })
+            .collect();
+        points.sort_by(|a, b| {
+            a.latency_factor
+                .partial_cmp(&b.latency_factor)
+                .expect("finite")
+        });
+        Some(LatencySweep {
+            organization,
+            points,
+        })
+    }
+
     /// The largest latency factor whose IPC loss does not exceed
     /// `allowed_loss` (e.g. `0.05` for the paper's 5% definition).
     ///
@@ -43,11 +76,7 @@ impl LatencySweep {
     #[must_use]
     pub fn max_tolerable_latency(&self, allowed_loss: f64) -> f64 {
         let threshold = 1.0 - allowed_loss;
-        let mut best = self
-            .points
-            .first()
-            .map(|p| p.latency_factor)
-            .unwrap_or(1.0);
+        let mut best = self.points.first().map(|p| p.latency_factor).unwrap_or(1.0);
         for p in &self.points {
             if p.relative_ipc >= threshold {
                 best = best.max(p.latency_factor);
@@ -77,36 +106,51 @@ pub fn latency_sweep(
             "latency sweep needs at least one latency factor".to_string(),
         ));
     }
-    let reference_config = ExperimentConfig {
-        organization,
-        ..*base_config
-    }
-    .with_latency_factor(1.0);
-    let reference = run_experiment(kernel, memory, seed, &reference_config)?;
-    let mut points = Vec::with_capacity(latency_factors.len());
-    for &factor in latency_factors {
+    let measure = |factor: f64| -> Result<f64, CoreError> {
         let config = ExperimentConfig {
             organization,
             ..*base_config
         }
         .with_latency_factor(factor);
-        let result = run_experiment(kernel, memory, seed, &config)?;
-        let relative = if reference.ipc > 0.0 {
-            result.ipc / reference.ipc
-        } else {
-            0.0
-        };
-        points.push(LatencySweepPoint {
-            latency_factor: factor,
-            ipc: result.ipc,
-            relative_ipc: relative,
-        });
+        Ok(run_experiment(kernel, memory, seed, &config)?.ipc)
+    };
+    let mut pairs = Vec::with_capacity(latency_factors.len() + 1);
+    for &factor in latency_factors {
+        pairs.push((factor, measure(factor)?));
     }
-    points.sort_by(|a, b| a.latency_factor.partial_cmp(&b.latency_factor).expect("finite"));
-    Ok(LatencySweep {
-        organization,
-        points,
-    })
+    // The curve is always normalized against the 1x point; measure it
+    // separately when the caller's factor list does not include it.
+    let had_unity = pairs.iter().any(|(f, _)| (*f - 1.0).abs() < 1e-12);
+    if !had_unity {
+        pairs.push((1.0, measure(1.0)?));
+    }
+    let mut sweep = LatencySweep::from_ipc_points(organization, &pairs).unwrap_or_else(|| {
+        // Degenerate zero-IPC reference: keep absolute IPCs, report zero
+        // relative IPC everywhere.
+        let mut points: Vec<LatencySweepPoint> = pairs
+            .iter()
+            .map(|&(latency_factor, ipc)| LatencySweepPoint {
+                latency_factor,
+                ipc,
+                relative_ipc: 0.0,
+            })
+            .collect();
+        points.sort_by(|a, b| {
+            a.latency_factor
+                .partial_cmp(&b.latency_factor)
+                .expect("finite")
+        });
+        LatencySweep {
+            organization,
+            points,
+        }
+    });
+    if !had_unity {
+        sweep
+            .points
+            .retain(|p| (p.latency_factor - 1.0).abs() >= 1e-12);
+    }
+    Ok(sweep)
 }
 
 /// The latency factors swept in the paper's Figures 11–14 (1× through 7×).
@@ -129,7 +173,12 @@ mod tests {
             b.push(entry, Opcode::Mov, Some(ArchReg::new(i)), &[]);
         }
         b.jump(entry, body);
-        b.push(body, Opcode::LoadGlobal, Some(ArchReg::new(10)), &[ArchReg::new(0)]);
+        b.push(
+            body,
+            Opcode::LoadGlobal,
+            Some(ArchReg::new(10)),
+            &[ArchReg::new(0)],
+        );
         for i in 0..4 {
             b.push(
                 body,
@@ -211,10 +260,26 @@ mod tests {
         let sweep = LatencySweep {
             organization: Organization::Ltrf,
             points: vec![
-                LatencySweepPoint { latency_factor: 1.0, ipc: 1.0, relative_ipc: 1.0 },
-                LatencySweepPoint { latency_factor: 3.0, ipc: 0.97, relative_ipc: 0.97 },
-                LatencySweepPoint { latency_factor: 5.0, ipc: 0.93, relative_ipc: 0.93 },
-                LatencySweepPoint { latency_factor: 7.0, ipc: 0.85, relative_ipc: 0.85 },
+                LatencySweepPoint {
+                    latency_factor: 1.0,
+                    ipc: 1.0,
+                    relative_ipc: 1.0,
+                },
+                LatencySweepPoint {
+                    latency_factor: 3.0,
+                    ipc: 0.97,
+                    relative_ipc: 0.97,
+                },
+                LatencySweepPoint {
+                    latency_factor: 5.0,
+                    ipc: 0.93,
+                    relative_ipc: 0.93,
+                },
+                LatencySweepPoint {
+                    latency_factor: 7.0,
+                    ipc: 0.85,
+                    relative_ipc: 0.85,
+                },
             ],
         };
         let strict = sweep.max_tolerable_latency(0.01);

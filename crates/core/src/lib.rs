@@ -58,7 +58,9 @@ pub mod runner;
 pub mod wcb;
 
 pub use error::CoreError;
-pub use latency_tolerance::{latency_sweep, paper_latency_factors, LatencySweep};
+pub use latency_tolerance::{
+    latency_sweep, paper_latency_factors, LatencySweep, LatencySweepPoint,
+};
 pub use occupancy::{capacity_requirement, CapacityRequirement, GpuArchitecture};
 pub use organizations::{
     build_organization, BuiltOrganization, LtrfParams, LtrfRegisterFile, Organization,

@@ -164,7 +164,10 @@ mod tests {
         let row = capacity_requirement(GpuArchitecture::maxwell(), &demands).unwrap();
         assert!(row.average_factor() > 1.0, "average demand exceeds 256 KB");
         assert!(row.max_factor() >= row.average_factor());
-        assert_eq!(row.max_bytes, GpuArchitecture::maxwell().required_regfile_bytes(96));
+        assert_eq!(
+            row.max_bytes,
+            GpuArchitecture::maxwell().required_regfile_bytes(96)
+        );
         assert!(capacity_requirement(GpuArchitecture::fermi(), &[]).is_none());
     }
 }

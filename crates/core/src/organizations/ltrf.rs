@@ -97,7 +97,11 @@ impl LtrfRegisterFile {
     /// Creates an LTRF register file for a compiled kernel.
     #[must_use]
     pub fn new(compiled: CompiledKernel, timing: RegFileTiming, params: LtrfParams) -> Self {
-        let name = if params.liveness_aware { "LTRF+" } else { "LTRF" };
+        let name = if params.liveness_aware {
+            "LTRF+"
+        } else {
+            "LTRF"
+        };
         LtrfRegisterFile {
             mrf: BankArbiter::new(timing.mrf_banks, timing.mrf_latency()),
             cache: BankArbiter::new(params.registers_per_interval.max(1), timing.rfc_latency),
@@ -135,8 +139,9 @@ impl LtrfRegisterFile {
 
     fn ensure_warp(&mut self, warp: WarpId) {
         while self.warps.len() <= warp.index() {
-            self.warps
-                .push(LtrfWarpState::new(self.params.registers_per_interval.max(1)));
+            self.warps.push(LtrfWarpState::new(
+                self.params.registers_per_interval.max(1),
+            ));
         }
     }
 
@@ -368,7 +373,11 @@ mod tests {
         let ready = rf.warp_activated(WarpId(0), BlockId(0), 0);
         let read_done = rf.read_operands(WarpId(0), &regs_of(&[0, 1]), ready);
         // WCB lookup (1) + cache access (1): far faster than the 13-cycle MRF.
-        assert!(read_done - ready <= 3, "cache read took {}", read_done - ready);
+        assert!(
+            read_done - ready <= 3,
+            "cache read took {}",
+            read_done - ready
+        );
         assert_eq!(rf.register_cache_hit_rate(), Some(1.0));
     }
 
@@ -456,13 +465,23 @@ mod tests {
         let exit = b.add_block();
         b.push(entry, Opcode::Mov, Some(ArchReg::new(0)), &[]);
         b.jump(entry, body);
-        b.push(body, Opcode::FAlu, Some(ArchReg::new(1)), &[ArchReg::new(0)]);
+        b.push(
+            body,
+            Opcode::FAlu,
+            Some(ArchReg::new(1)),
+            &[ArchReg::new(0)],
+        );
         b.loop_branch(body, body, exit, 50);
         b.exit(exit);
         let kernel = b.build().unwrap();
         let compiled = compile(&kernel, &CompilerOptions::default()).unwrap();
-        assert_eq!(compiled.partition.interval_count(), 1, "whole loop fits one interval");
-        let mut rf = LtrfRegisterFile::new(compiled, RegFileTiming::default(), LtrfParams::default());
+        assert_eq!(
+            compiled.partition.interval_count(),
+            1,
+            "whole loop fits one interval"
+        );
+        let mut rf =
+            LtrfRegisterFile::new(compiled, RegFileTiming::default(), LtrfParams::default());
         let t = rf.warp_activated(WarpId(0), BlockId(0), 0);
         let initial_mrf = rf.access_counts().mrf_total();
         let mut now = t;
@@ -471,7 +490,11 @@ mod tests {
             now = rf.read_operands(WarpId(0), &regs_of(&[0]), now);
             now = rf.write_register(WarpId(0), ArchReg::new(1), now);
         }
-        assert_eq!(rf.access_counts().mrf_total(), initial_mrf, "no MRF traffic inside the interval");
+        assert_eq!(
+            rf.access_counts().mrf_total(),
+            initial_mrf,
+            "no MRF traffic inside the interval"
+        );
         assert_eq!(rf.register_cache_hit_rate(), Some(1.0));
     }
 }

@@ -24,7 +24,9 @@ use ltrf_sim::{DirectRegisterFile, IdealRegisterFile, RegFileTiming, RegisterFil
 use crate::error::CoreError;
 
 /// The register-file organizations evaluated in the paper.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize,
+)]
 pub enum Organization {
     /// Conventional non-cached register file (`BL`).
     Baseline,
@@ -167,8 +169,8 @@ pub fn build_organization(
             }
         }
         Organization::Ltrf | Organization::LtrfPlus => {
-            let options = CompilerOptions::default()
-                .with_max_registers(params.registers_per_interval);
+            let options =
+                CompilerOptions::default().with_max_registers(params.registers_per_interval);
             let compiled = compile(kernel, &options)?;
             let p = LtrfParams {
                 liveness_aware: organization == Organization::LtrfPlus,

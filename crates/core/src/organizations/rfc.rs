@@ -190,7 +190,10 @@ mod tests {
     fn produced_values_hit_but_inherited_values_miss() {
         let mut rf = RfcRegisterFile::new(RegFileTiming::default().with_latency_factor(6.3), 16);
         let t1 = rf.read_operands(WarpId(0), &regs_of(&[1]), 0);
-        assert_eq!(t1, 13, "a value never produced locally pays the slow MRF latency");
+        assert_eq!(
+            t1, 13,
+            "a value never produced locally pays the slow MRF latency"
+        );
         let _ = rf.write_register(WarpId(0), ArchReg::new(1), t1);
         let t2 = rf.read_operands(WarpId(0), &regs_of(&[1]), 20);
         assert_eq!(t2 - 20, 1, "a freshly produced value hits in the cache");
@@ -226,7 +229,11 @@ mod tests {
         let mut rf = RfcRegisterFile::new(RegFileTiming::default().with_latency_factor(6.3), 8);
         let _ = rf.read_operands(WarpId(0), &regs_of(&[9]), 0);
         let t = rf.read_operands(WarpId(0), &regs_of(&[9]), 20);
-        assert_eq!(t - 20, 13, "a re-read of a never-written register still misses");
+        assert_eq!(
+            t - 20,
+            13,
+            "a re-read of a never-written register still misses"
+        );
         assert_eq!(rf.register_cache_hit_rate(), Some(0.0));
     }
 

@@ -92,8 +92,7 @@ impl RegisterFileModel for ShrfRegisterFile {
 
     fn warp_activated(&mut self, warp: WarpId, block: BlockId, now: Cycle) -> Cycle {
         self.ensure_warp(warp);
-        self.warps[warp.index()].current_strand =
-            Some(self.compiled.partition.interval_of(block));
+        self.warps[warp.index()].current_strand = Some(self.compiled.partition.interval_of(block));
         now
     }
 
@@ -172,9 +171,19 @@ mod tests {
         let mut b = KernelBuilder::new("k", 16);
         let e = b.entry_block();
         b.push(e, Opcode::Mov, Some(ArchReg::new(0)), &[]);
-        b.push(e, Opcode::LoadGlobal, Some(ArchReg::new(1)), &[ArchReg::new(0)]);
+        b.push(
+            e,
+            Opcode::LoadGlobal,
+            Some(ArchReg::new(1)),
+            &[ArchReg::new(0)],
+        );
         b.push(e, Opcode::FAlu, Some(ArchReg::new(2)), &[ArchReg::new(1)]);
-        b.push(e, Opcode::FAlu, Some(ArchReg::new(3)), &[ArchReg::new(2), ArchReg::new(0)]);
+        b.push(
+            e,
+            Opcode::FAlu,
+            Some(ArchReg::new(3)),
+            &[ArchReg::new(2), ArchReg::new(0)],
+        );
         b.exit(e);
         let kernel = b.build().unwrap();
         compile(&kernel, &CompilerOptions::default().with_strands()).unwrap()
@@ -187,7 +196,8 @@ mod tests {
     #[test]
     fn values_produced_in_a_strand_hit() {
         let compiled = strand_compiled();
-        let mut rf = ShrfRegisterFile::new(compiled, RegFileTiming::default().with_latency_factor(6.3));
+        let mut rf =
+            ShrfRegisterFile::new(compiled, RegFileTiming::default().with_latency_factor(6.3));
         let _ = rf.warp_activated(WarpId(0), BlockId(0), 0);
         let _ = rf.write_register(WarpId(0), ArchReg::new(0), 0);
         let t = rf.read_operands(WarpId(0), &regs_of(&[0]), 5);
@@ -198,7 +208,8 @@ mod tests {
     #[test]
     fn upward_exposed_reads_pay_mrf_latency() {
         let compiled = strand_compiled();
-        let mut rf = ShrfRegisterFile::new(compiled, RegFileTiming::default().with_latency_factor(6.3));
+        let mut rf =
+            ShrfRegisterFile::new(compiled, RegFileTiming::default().with_latency_factor(6.3));
         let _ = rf.warp_activated(WarpId(0), BlockId(0), 0);
         let t = rf.read_operands(WarpId(0), &regs_of(&[5]), 0);
         assert_eq!(t, 13, "first read of an inherited value goes to the MRF");
@@ -225,7 +236,11 @@ mod tests {
         let _ = rf.write_register(WarpId(0), ArchReg::new(0), 0);
         let t = rf.block_entered(WarpId(0), other, 10);
         assert_eq!(t, 10, "no prefetch stall in SHRF");
-        assert_eq!(rf.access_counts().mrf_writes, 1, "dirty register written back");
+        assert_eq!(
+            rf.access_counts().mrf_writes,
+            1,
+            "dirty register written back"
+        );
         // The register now misses in the new strand.
         let misses_before = rf.access_counts().mrf_reads;
         let _ = rf.read_operands(WarpId(0), &regs_of(&[0]), 11);

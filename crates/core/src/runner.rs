@@ -90,6 +90,21 @@ impl ExperimentConfig {
         }
     }
 
+    /// The canonical serialized form of this configuration, used by
+    /// `ltrf-sweep` to derive content-addressed cache keys. Field order is
+    /// declaration order and floats use shortest round-trip formatting, so
+    /// equal configurations always produce identical material.
+    #[must_use]
+    pub fn cache_key_value(&self) -> serde::Value {
+        Serialize::to_value(self)
+    }
+
+    /// [`Self::cache_key_value`] rendered as canonical JSON text.
+    #[must_use]
+    pub fn cache_key_material(&self) -> String {
+        self.cache_key_value().to_json()
+    }
+
     /// Builds the simulator configuration for this experiment.
     #[must_use]
     pub fn gpu_config(&self) -> GpuConfig {
@@ -104,7 +119,10 @@ impl ExperimentConfig {
             ((16.0 * self.mrf_config.bank_count_factor).round() as usize).max(1);
         // The baseline comparison point of the paper adds the 16 KB of cache
         // capacity to the main register file instead.
-        if matches!(self.organization, Organization::Baseline | Organization::Ideal) {
+        if matches!(
+            self.organization,
+            Organization::Baseline | Organization::Ideal
+        ) {
             gpu.regfile_bytes += gpu.regfile_cache_bytes;
         }
         gpu
@@ -154,12 +172,16 @@ pub fn run_experiment(
         .with_memory(memory)
         .with_seed(seed);
     let stats = simulate(&workload, &gpu, built.model.as_mut());
-    let rfc_kib = if matches!(config.organization, Organization::Baseline | Organization::Ideal) {
+    let rfc_kib = if matches!(
+        config.organization,
+        Organization::Baseline | Organization::Ideal
+    ) {
         0.0
     } else {
         gpu.regfile_cache_bytes as f64 / 1024.0
     };
-    let power_model = RegFilePowerModel::for_config(&config.mrf_config, rfc_kib, gpu.core_clock_mhz);
+    let power_model =
+        RegFilePowerModel::for_config(&config.mrf_config, rfc_kib, gpu.core_clock_mhz);
     let power = power_model.evaluate(&stats.regfile_accesses);
     Ok(RunResult {
         organization: config.organization,
@@ -249,7 +271,12 @@ mod tests {
             b.push(entry, Opcode::Mov, Some(ArchReg::new(i)), &[]);
         }
         b.jump(entry, body);
-        b.push(body, Opcode::LoadGlobal, Some(ArchReg::new(16)), &[ArchReg::new(0)]);
+        b.push(
+            body,
+            Opcode::LoadGlobal,
+            Some(ArchReg::new(16)),
+            &[ArchReg::new(0)],
+        );
         for i in 0..6 {
             b.push(
                 body,
@@ -259,7 +286,12 @@ mod tests {
             );
         }
         b.loop_branch(body, body, exit, 6);
-        b.push(exit, Opcode::StoreGlobal, None, &[ArchReg::new(0), ArchReg::new(17)]);
+        b.push(
+            exit,
+            Opcode::StoreGlobal,
+            None,
+            &[ArchReg::new(0), ArchReg::new(17)],
+        );
         b.exit(exit);
         b.launch(LaunchConfig::new(8, 2, 0));
         b.build().unwrap()
@@ -353,7 +385,10 @@ mod tests {
         )
         .unwrap();
         let hit_rate = result.cache_hit_rate.expect("LTRF has a register cache");
-        assert!(hit_rate > 0.95, "LTRF hit rate should be near 1.0, got {hit_rate}");
+        assert!(
+            hit_rate > 0.95,
+            "LTRF hit rate should be near 1.0, got {hit_rate}"
+        );
         // The RFC hit rate on the same kernel is clearly lower.
         let rfc = run_experiment(
             &kernel,

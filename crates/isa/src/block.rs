@@ -84,7 +84,9 @@ impl Terminator {
     pub fn successors(&self) -> Vec<BlockId> {
         match *self {
             Terminator::Jump(t) => vec![t],
-            Terminator::Branch { taken, not_taken, .. } => {
+            Terminator::Branch {
+                taken, not_taken, ..
+            } => {
                 if taken == not_taken {
                     vec![taken]
                 } else {

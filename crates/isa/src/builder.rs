@@ -1,8 +1,8 @@
 //! Ergonomic construction of kernels.
 
 use crate::{
-    ArchReg, BasicBlock, BlockId, BranchBehavior, Cfg, Instruction, IsaError, Kernel,
-    LaunchConfig, Opcode, RegisterSensitivity, Terminator,
+    ArchReg, BasicBlock, BlockId, BranchBehavior, Cfg, Instruction, IsaError, Kernel, LaunchConfig,
+    Opcode, RegisterSensitivity, Terminator,
 };
 
 /// Builder for [`Kernel`]s.

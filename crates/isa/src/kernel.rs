@@ -22,7 +22,11 @@ pub struct LaunchConfig {
 impl LaunchConfig {
     /// Creates a launch configuration.
     #[must_use]
-    pub const fn new(warps_per_block: u32, blocks_per_grid: u32, shared_mem_per_block: u32) -> Self {
+    pub const fn new(
+        warps_per_block: u32,
+        blocks_per_grid: u32,
+        shared_mem_per_block: u32,
+    ) -> Self {
         LaunchConfig {
             warps_per_block,
             blocks_per_grid,

@@ -237,8 +237,14 @@ mod tests {
     #[test]
     fn memory_spaces() {
         assert_eq!(Opcode::LoadGlobal.memory_space(), Some(MemorySpace::Global));
-        assert_eq!(Opcode::StoreShared.memory_space(), Some(MemorySpace::Shared));
-        assert_eq!(Opcode::LoadConst.memory_space(), Some(MemorySpace::Constant));
+        assert_eq!(
+            Opcode::StoreShared.memory_space(),
+            Some(MemorySpace::Shared)
+        );
+        assert_eq!(
+            Opcode::LoadConst.memory_space(),
+            Some(MemorySpace::Constant)
+        );
         assert_eq!(Opcode::FAlu.memory_space(), None);
     }
 

@@ -270,7 +270,7 @@ impl Extend<ArchReg> for RegSet {
     }
 }
 
-impl<'a> IntoIterator for &'a RegSet {
+impl IntoIterator for &RegSet {
     type Item = ArchReg;
     type IntoIter = RegSetIter;
 
@@ -405,12 +405,20 @@ mod tests {
     fn iteration_is_sorted() {
         let s = RegSet::from_iter([ArchReg::new(200), ArchReg::new(5), ArchReg::new(63)]);
         let v = s.to_vec();
-        assert_eq!(v, vec![ArchReg::new(5), ArchReg::new(63), ArchReg::new(200)]);
+        assert_eq!(
+            v,
+            vec![ArchReg::new(5), ArchReg::new(63), ArchReg::new(200)]
+        );
     }
 
     #[test]
     fn words_round_trip() {
-        let s = RegSet::from_iter([ArchReg::new(0), ArchReg::new(64), ArchReg::new(128), ArchReg::new(192)]);
+        let s = RegSet::from_iter([
+            ArchReg::new(0),
+            ArchReg::new(64),
+            ArchReg::new(128),
+            ArchReg::new(192),
+        ]);
         let words = s.to_words();
         assert_eq!(words, [1, 1, 1, 1]);
         assert_eq!(RegSet::from_words(words), s);

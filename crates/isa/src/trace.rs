@@ -55,7 +55,11 @@ impl BranchRng {
     #[must_use]
     pub const fn new(seed: u64) -> Self {
         BranchRng {
-            state: if seed == 0 { 0x9E37_79B9_7F4A_7C15 } else { seed },
+            state: if seed == 0 {
+                0x9E37_79B9_7F4A_7C15
+            } else {
+                seed
+            },
         }
     }
 
@@ -140,7 +144,10 @@ impl<'k> TraceWalker<'k> {
                     return stats;
                 }
             }
-            match *block.terminator().expect("validated kernels are terminated") {
+            match *block
+                .terminator()
+                .expect("validated kernels are terminated")
+            {
                 Terminator::Exit => return stats,
                 Terminator::Jump(t) => current = t,
                 Terminator::Branch {
@@ -255,7 +262,12 @@ mod tests {
         b.jump(entry, outer);
         b.push(outer, Opcode::IAlu, Some(ArchReg::new(0)), &[]);
         b.jump(outer, inner);
-        b.push(inner, Opcode::FAlu, Some(ArchReg::new(1)), &[ArchReg::new(0)]);
+        b.push(
+            inner,
+            Opcode::FAlu,
+            Some(ArchReg::new(1)),
+            &[ArchReg::new(0)],
+        );
         b.loop_branch(inner, inner, latch, 4);
         b.loop_branch(latch, outer, exit, 3);
         b.exit(exit);

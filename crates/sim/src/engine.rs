@@ -222,7 +222,12 @@ impl<'a> Engine<'a> {
         let (opcode, reads, dst, dying) = {
             let warp = &self.warps[warp_id.index()];
             let inst = &self.kernel.cfg.block(warp.block).instructions()[warp.pc];
-            (inst.opcode(), inst.reads(), inst.dst(), inst.dying_registers())
+            (
+                inst.opcode(),
+                inst.reads(),
+                inst.dst(),
+                inst.dying_registers(),
+            )
         };
 
         // Scoreboard check.
@@ -242,7 +247,10 @@ impl<'a> Engine<'a> {
         };
 
         // For global memory operations, respect the MSHR limit.
-        let is_global_mem = matches!(opcode, Opcode::LoadGlobal | Opcode::LoadLocal | Opcode::StoreGlobal | Opcode::StoreLocal);
+        let is_global_mem = matches!(
+            opcode,
+            Opcode::LoadGlobal | Opcode::LoadLocal | Opcode::StoreGlobal | Opcode::StoreLocal
+        );
         if is_global_mem && !self.memory.can_accept(cycle) {
             return false;
         }
@@ -349,10 +357,8 @@ impl<'a> Engine<'a> {
             }
             match warp.status {
                 WarpStatus::Pending => return Some(id),
-                WarpStatus::InactiveUntil(t) if t <= cycle => {
-                    if best.map_or(true, |(_, bt)| t < bt) {
-                        best = Some((id, t));
-                    }
+                WarpStatus::InactiveUntil(t) if t <= cycle && best.is_none_or(|(_, bt)| t < bt) => {
+                    best = Some((id, t));
                 }
                 _ => {}
             }
@@ -431,11 +437,31 @@ mod tests {
         let exit = b.add_block();
         b.push(entry, Opcode::Mov, Some(ArchReg::new(0)), &[]);
         b.jump(entry, body);
-        b.push(body, Opcode::LoadGlobal, Some(ArchReg::new(1)), &[ArchReg::new(0)]);
-        b.push(body, Opcode::FAlu, Some(ArchReg::new(2)), &[ArchReg::new(1)]);
-        b.push(body, Opcode::FAlu, Some(ArchReg::new(3)), &[ArchReg::new(2)]);
+        b.push(
+            body,
+            Opcode::LoadGlobal,
+            Some(ArchReg::new(1)),
+            &[ArchReg::new(0)],
+        );
+        b.push(
+            body,
+            Opcode::FAlu,
+            Some(ArchReg::new(2)),
+            &[ArchReg::new(1)],
+        );
+        b.push(
+            body,
+            Opcode::FAlu,
+            Some(ArchReg::new(3)),
+            &[ArchReg::new(2)],
+        );
         b.loop_branch(body, body, exit, 10);
-        b.push(exit, Opcode::StoreGlobal, None, &[ArchReg::new(0), ArchReg::new(3)]);
+        b.push(
+            exit,
+            Opcode::StoreGlobal,
+            None,
+            &[ArchReg::new(0), ArchReg::new(3)],
+        );
         b.exit(exit);
         b.launch(LaunchConfig::new(warps, 1, 0));
         b.build().unwrap()
@@ -466,7 +492,10 @@ mod tests {
         assert!(!stats.truncated);
         assert_eq!(stats.instructions, 4 * per_warp);
         assert!(stats.memory.global_requests >= 4 * 10);
-        assert!(stats.warp_activations >= 4, "loads demote and reactivate warps");
+        assert!(
+            stats.warp_activations >= 4,
+            "loads demote and reactivate warps"
+        );
     }
 
     #[test]

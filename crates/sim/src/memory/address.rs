@@ -192,8 +192,14 @@ mod tests {
 
     #[test]
     fn presets_are_distinct() {
-        assert!(MemoryBehavior::streaming().footprint_bytes > MemoryBehavior::cache_resident().footprint_bytes);
-        assert!(MemoryBehavior::irregular().reuse_probability < MemoryBehavior::cache_resident().reuse_probability);
+        assert!(
+            MemoryBehavior::streaming().footprint_bytes
+                > MemoryBehavior::cache_resident().footprint_bytes
+        );
+        assert!(
+            MemoryBehavior::irregular().reuse_probability
+                < MemoryBehavior::cache_resident().reuse_probability
+        );
         assert_eq!(MemoryBehavior::default(), MemoryBehavior::streaming());
     }
 }

@@ -63,7 +63,10 @@ impl Cache {
     pub fn new(capacity_bytes: u64, ways: usize, line_bytes: u64) -> Self {
         assert!(capacity_bytes > 0 && ways > 0 && line_bytes > 0);
         let lines = capacity_bytes / line_bytes;
-        assert!(lines as usize % ways == 0, "capacity must divide into sets");
+        assert!(
+            (lines as usize).is_multiple_of(ways),
+            "capacity must divide into sets"
+        );
         let sets = lines as usize / ways;
         assert!(sets > 0, "cache must have at least one set");
         Cache {

@@ -145,7 +145,10 @@ mod tests {
         let first = d.access(0, 0);
         let second = d.access(128, first);
         let cfg = MemoryConfig::default();
-        assert_eq!(second - first, cfg.dram_row_hit_latency + cfg.dram_burst_cycles);
+        assert_eq!(
+            second - first,
+            cfg.dram_row_hit_latency + cfg.dram_burst_cycles
+        );
         assert!(d.stats().row_hit_rate() > 0.4);
     }
 
@@ -164,7 +167,8 @@ mod tests {
         let mut d = dram();
         let cfg = MemoryConfig::default();
         // Two different rows on the same channel and bank.
-        let row_stride = cfg.dram_row_bytes * cfg.dram_channels as u64 * cfg.dram_banks_per_channel as u64;
+        let row_stride =
+            cfg.dram_row_bytes * cfg.dram_channels as u64 * cfg.dram_banks_per_channel as u64;
         let a = d.access(0, 0);
         let b = d.access(row_stride, 0);
         assert!(b > a, "same-bank different-row requests serialise");
@@ -180,7 +184,10 @@ mod tests {
             last = d.access(i * 4, 0);
         }
         let cfg = MemoryConfig::default();
-        assert!(last >= 100 * cfg.dram_burst_cycles, "bus occupancy bounds bandwidth");
+        assert!(
+            last >= 100 * cfg.dram_burst_cycles,
+            "bus occupancy bounds bandwidth"
+        );
         assert_eq!(d.stats().requests, 100);
     }
 }

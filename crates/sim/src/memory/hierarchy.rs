@@ -79,7 +79,8 @@ impl MemoryHierarchy {
                         now + self.config.l1_hit_latency + self.config.llc_hit_latency
                     }
                     CacheOutcome::Miss => {
-                        let dram_issue = now + self.config.l1_hit_latency + self.config.llc_hit_latency;
+                        let dram_issue =
+                            now + self.config.l1_hit_latency + self.config.llc_hit_latency;
                         self.dram.access(line_addr, dram_issue)
                     }
                 }
@@ -135,7 +136,10 @@ mod tests {
             m.access_global(i * 128, 1_000_000);
         }
         let stats = m.stats();
-        assert!(stats.llc.hits >= lines / 2, "LLC should absorb the second sweep");
+        assert!(
+            stats.llc.hits >= lines / 2,
+            "LLC should absorb the second sweep"
+        );
         assert_eq!(stats.global_requests, 2 * lines);
     }
 

@@ -204,7 +204,10 @@ mod tests {
     fn direct_rf_charges_mrf_latency() {
         let mut rf = DirectRegisterFile::new(RegFileTiming::default());
         let ready = rf.read_operands(WarpId(0), &regs(&[0, 1]), 100);
-        assert_eq!(ready, 102, "two conflict-free reads finish after one access latency");
+        assert_eq!(
+            ready, 102,
+            "two conflict-free reads finish after one access latency"
+        );
         assert_eq!(rf.access_counts().mrf_reads, 2);
         assert_eq!(rf.name(), "BL");
     }

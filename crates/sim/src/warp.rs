@@ -68,7 +68,12 @@ impl WarpContext {
     /// Returns `true` if every source and the destination of the instruction
     /// are free of pending writes at `now` (RAW/WAW check), dropping
     /// completed entries as a side effect.
-    pub fn scoreboard_ready(&mut self, reads: &ltrf_isa::RegSet, dst: Option<ArchReg>, now: Cycle) -> bool {
+    pub fn scoreboard_ready(
+        &mut self,
+        reads: &ltrf_isa::RegSet,
+        dst: Option<ArchReg>,
+        now: Cycle,
+    ) -> bool {
         self.pending_writes.retain(|_, &mut ready| ready > now);
         for r in reads.iter() {
             if self.pending_writes.contains_key(&r) {
@@ -174,7 +179,10 @@ mod tests {
         let reads: RegSet = [ArchReg::new(1)].into_iter().collect();
         assert!(!w.scoreboard_ready(&reads, None, 50));
         assert_eq!(w.scoreboard_ready_at(&reads, None), 100);
-        assert!(w.scoreboard_ready(&reads, None, 100), "hazard clears at the ready cycle");
+        assert!(
+            w.scoreboard_ready(&reads, None, 100),
+            "hazard clears at the ready cycle"
+        );
     }
 
     #[test]
@@ -205,7 +213,11 @@ mod tests {
         w.block = body;
         assert_eq!(w.take_branch(&k), Some(body));
         w.block = body;
-        assert_eq!(w.take_branch(&k), Some(exit), "third evaluation falls through");
+        assert_eq!(
+            w.take_branch(&k),
+            Some(exit),
+            "third evaluation falls through"
+        );
         w.block = exit;
         assert_eq!(w.take_branch(&k), None);
     }

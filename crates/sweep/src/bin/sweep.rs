@@ -1,0 +1,367 @@
+//! The `sweep` CLI: reproduce the paper's headline experiments through the
+//! parallel, cached campaign engine.
+//!
+//! ```text
+//! sweep fig9   [OPTIONS]   six organizations × suite on configurations #6/#7
+//! sweep fig11  [OPTIONS]   latency-tolerance matrix (orgs × latency factors)
+//! sweep table2 [OPTIONS]   the seven design points, swept under BL and LTRF
+//!
+//! OPTIONS:
+//!   --quick             four-workload subset instead of the full suite
+//!   --out DIR           report directory            (default: sweep-out)
+//!   --cache DIR         result-cache directory      (default: .sweep-cache)
+//!   --no-cache          disable the result cache
+//!   --force             recompute even when cached
+//!   --threads N         worker threads              (default: all cores)
+//!   --per-point-seeds   derive a distinct seed per point instead of the
+//!                       paper's fixed campaign seed
+//! ```
+
+use std::collections::BTreeMap;
+use std::path::PathBuf;
+use std::process::ExitCode;
+use std::time::Instant;
+
+use ltrf_core::Organization;
+use ltrf_sweep::{
+    report, run_sweep, ExecutorOptions, SeedMode, SweepResults, SweepSpec, CAMPAIGN_SEED,
+};
+use ltrf_tech::configs::RegFileConfig;
+use ltrf_workloads::QUICK_SUBSET;
+
+#[derive(Debug)]
+struct CliOptions {
+    quick: bool,
+    out_dir: PathBuf,
+    cache_dir: Option<PathBuf>,
+    force: bool,
+    threads: Option<usize>,
+    per_point_seeds: bool,
+}
+
+impl Default for CliOptions {
+    fn default() -> Self {
+        CliOptions {
+            quick: false,
+            out_dir: PathBuf::from("sweep-out"),
+            cache_dir: Some(PathBuf::from(".sweep-cache")),
+            force: false,
+            threads: None,
+            per_point_seeds: false,
+        }
+    }
+}
+
+fn usage() -> &'static str {
+    "usage: sweep <fig9|fig11|table2> [--quick] [--out DIR] [--cache DIR] \
+     [--no-cache] [--force] [--threads N] [--per-point-seeds]"
+}
+
+fn parse_options(args: &[String]) -> Result<CliOptions, String> {
+    let mut options = CliOptions::default();
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--quick" => options.quick = true,
+            "--no-cache" => options.cache_dir = None,
+            "--force" => options.force = true,
+            "--per-point-seeds" => options.per_point_seeds = true,
+            "--out" => {
+                options.out_dir = iter
+                    .next()
+                    .map(PathBuf::from)
+                    .ok_or("--out needs a directory")?;
+            }
+            "--cache" => {
+                options.cache_dir = Some(
+                    iter.next()
+                        .map(PathBuf::from)
+                        .ok_or("--cache needs a directory")?,
+                );
+            }
+            "--threads" => {
+                let n: usize = iter
+                    .next()
+                    .ok_or("--threads needs a count")?
+                    .parse()
+                    .map_err(|e| format!("--threads: {e}"))?;
+                options.threads = Some(n.max(1));
+            }
+            other => return Err(format!("unknown option `{other}`\n{}", usage())),
+        }
+    }
+    Ok(options)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some((command, rest)) = args.split_first() else {
+        eprintln!("{}", usage());
+        return ExitCode::FAILURE;
+    };
+    let options = match parse_options(rest) {
+        Ok(options) => options,
+        Err(message) => {
+            eprintln!("sweep: {message}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let outcome = match command.as_str() {
+        "fig9" => run_fig9(&options),
+        "fig11" => run_fig11(&options),
+        "table2" => run_table2(&options),
+        other => {
+            eprintln!("sweep: unknown command `{other}`\n{}", usage());
+            return ExitCode::FAILURE;
+        }
+    };
+    match outcome {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("sweep: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn seed_mode(options: &CliOptions) -> SeedMode {
+    if options.per_point_seeds {
+        SeedMode::PerPoint(CAMPAIGN_SEED)
+    } else {
+        SeedMode::Fixed(CAMPAIGN_SEED)
+    }
+}
+
+fn workload_axis(
+    options: &CliOptions,
+    builder: ltrf_sweep::SweepSpecBuilder,
+) -> ltrf_sweep::SweepSpecBuilder {
+    if options.quick {
+        builder.workloads(QUICK_SUBSET)
+    } else {
+        builder.full_suite()
+    }
+}
+
+/// Runs a campaign, writes the JSON/CSV reports, prints the summary, and
+/// hands the results back for figure-specific post-processing.
+fn execute(spec: &SweepSpec, options: &CliOptions) -> Result<SweepResults, String> {
+    let executor = ExecutorOptions {
+        threads: options.threads,
+        cache_dir: options.cache_dir.clone(),
+        force_recompute: options.force,
+    };
+    println!(
+        "campaign `{}`: {} points across {} threads",
+        spec.name,
+        spec.points.len(),
+        options.threads.unwrap_or_else(ltrf_sweep::default_threads)
+    );
+    let started = Instant::now();
+    let results = run_sweep(spec, &executor);
+    let elapsed = started.elapsed();
+
+    std::fs::create_dir_all(&options.out_dir)
+        .map_err(|e| format!("cannot create {}: {e}", options.out_dir.display()))?;
+    let json_path = options.out_dir.join(format!("{}.json", spec.name));
+    let csv_path = options.out_dir.join(format!("{}.csv", spec.name));
+    report::write_json(&results, &json_path)
+        .map_err(|e| format!("writing {}: {e}", json_path.display()))?;
+    report::write_csv(&results, &csv_path)
+        .map_err(|e| format!("writing {}: {e}", csv_path.display()))?;
+
+    println!(
+        "  {} computed, {} from cache ({:.0}% hit rate), {} failed, {:.2?} wall clock",
+        results.computed_count(),
+        results.cached_count(),
+        results.cache_hit_rate() * 100.0,
+        results.failure_count(),
+        elapsed
+    );
+    println!(
+        "  reports: {} and {}",
+        json_path.display(),
+        csv_path.display()
+    );
+    for record in results.records.iter().filter(|r| r.outcome.is_failure()) {
+        eprintln!(
+            "  FAILED {} / {} config {}: {:?}",
+            record.point.workload,
+            record.point.config.organization.label(),
+            record.point.config.mrf_config.id,
+            record.outcome
+        );
+    }
+    Ok(results)
+}
+
+// ---------------------------------------------------------------------------
+// fig9 — six organizations × the suite on configurations #6 and #7
+// ---------------------------------------------------------------------------
+
+/// The organizations of Figure 9 (everything except the §6.6 strand
+/// ablation).
+const FIG9_ORGS: [Organization; 6] = [
+    Organization::Baseline,
+    Organization::Rfc,
+    Organization::Shrf,
+    Organization::Ltrf,
+    Organization::LtrfPlus,
+    Organization::Ideal,
+];
+
+fn run_fig9(options: &CliOptions) -> Result<(), String> {
+    let spec = workload_axis(options, SweepSpec::builder("fig9"))
+        .organizations(FIG9_ORGS)
+        .config_ids([6, 7])
+        .seed_mode(seed_mode(options))
+        .normalize(true)
+        .build();
+    let results = execute(&spec, options)?;
+
+    for config_id in [6u8, 7] {
+        println!(
+            "\nFigure 9{}: configuration #{config_id}, mean IPC normalized to baseline",
+            if config_id == 6 { 'a' } else { 'b' }
+        );
+        // organization label → (sum, count)
+        let mut by_org: BTreeMap<&str, (f64, usize)> = BTreeMap::new();
+        for (record, data) in results.successes() {
+            if record.point.config.mrf_config.id.0 != config_id {
+                continue;
+            }
+            let entry = by_org
+                .entry(record.point.config.organization.label())
+                .or_insert((0.0, 0));
+            entry.0 += data.normalized_ipc.unwrap_or(0.0);
+            entry.1 += 1;
+        }
+        for org in FIG9_ORGS {
+            if let Some((sum, count)) = by_org.get(org.label()) {
+                println!("  {:<14} {:.3}", org.label(), sum / *count as f64);
+            }
+        }
+    }
+    Ok(())
+}
+
+// ---------------------------------------------------------------------------
+// fig11 — maximum tolerable register-file latency
+// ---------------------------------------------------------------------------
+
+const FIG11_ORGS: [Organization; 4] = [
+    Organization::Baseline,
+    Organization::Rfc,
+    Organization::Ltrf,
+    Organization::LtrfPlus,
+];
+
+fn run_fig11(options: &CliOptions) -> Result<(), String> {
+    let factors = ltrf_core::paper_latency_factors();
+    let spec = workload_axis(options, SweepSpec::builder("fig11"))
+        .organizations(FIG11_ORGS)
+        .config_ids([1])
+        .latency_factors(factors.iter().map(|&f| Some(f)))
+        .seed_mode(seed_mode(options))
+        .normalize(false)
+        .build();
+    let results = execute(&spec, options)?;
+
+    // The paper's default allowed IPC loss (§6.3).
+    const ALLOWED_LOSS: f64 = 0.05;
+    // (workload, org) → latency-factor bits → ipc
+    let mut curves: BTreeMap<(String, Organization), BTreeMap<u64, f64>> = BTreeMap::new();
+    for (record, data) in results.successes() {
+        let factor = record.point.config.latency_factor();
+        curves
+            .entry((
+                record.point.workload.clone(),
+                record.point.config.organization,
+            ))
+            .or_default()
+            .insert(factor.to_bits(), data.result.ipc);
+    }
+    println!("\nFigure 11: maximum tolerable latency at 5% IPC loss (mean over workloads)");
+    let mut tolerance_by_org: BTreeMap<&str, (f64, usize)> = BTreeMap::new();
+    for ((_, org), curve) in &curves {
+        let reference = curve.get(&1.0f64.to_bits()).copied().unwrap_or(0.0);
+        if reference <= 0.0 {
+            continue;
+        }
+        // Delegate the curve assembly and tolerance definition to the core
+        // metric (shared with the `fig11` harness binary).
+        let ipc_points: Vec<(f64, f64)> = curve
+            .iter()
+            .map(|(&bits, &ipc)| (f64::from_bits(bits), ipc))
+            .collect();
+        let Some(sweep) = ltrf_core::LatencySweep::from_ipc_points(*org, &ipc_points) else {
+            continue;
+        };
+        let entry = tolerance_by_org.entry(org.label()).or_insert((0.0, 0));
+        entry.0 += sweep.max_tolerable_latency(ALLOWED_LOSS);
+        entry.1 += 1;
+    }
+    for org in FIG11_ORGS {
+        if let Some((sum, count)) = tolerance_by_org.get(org.label()) {
+            println!("  {:<8} {:.2}x", org.label(), sum / *count as f64);
+        }
+    }
+    Ok(())
+}
+
+// ---------------------------------------------------------------------------
+// table2 — the seven design points, swept under BL and LTRF
+// ---------------------------------------------------------------------------
+
+fn run_table2(options: &CliOptions) -> Result<(), String> {
+    println!("Table 2: register-file design points (calibrated)");
+    println!(
+        "  {:<4} {:<10} {:>9} {:>8} {:>8} {:>9}",
+        "id", "tech", "capacity", "area", "power", "latency"
+    );
+    for config in RegFileConfig::table2() {
+        println!(
+            "  {:<4} {:<10} {:>8.1}x {:>7.2}x {:>7.2}x {:>8.2}x",
+            config.id.to_string(),
+            config.technology.name(),
+            config.capacity_factor,
+            config.area_factor,
+            config.power_factor,
+            config.latency_factor
+        );
+    }
+
+    let spec = workload_axis(options, SweepSpec::builder("table2"))
+        .organizations([Organization::Baseline, Organization::Ltrf])
+        .config_ids(1..=7)
+        .seed_mode(seed_mode(options))
+        .normalize(true)
+        .build();
+    let results = execute(&spec, options)?;
+
+    println!("\nMean normalized IPC per design point:");
+    println!("  {:<4} {:>8} {:>8}", "id", "BL", "LTRF");
+    for config_id in 1..=7u8 {
+        let mean = |org: Organization| {
+            let values: Vec<f64> = results
+                .successes()
+                .filter(|(r, _)| {
+                    r.point.config.mrf_config.id.0 == config_id
+                        && r.point.config.organization == org
+                })
+                .filter_map(|(_, d)| d.normalized_ipc)
+                .collect();
+            if values.is_empty() {
+                f64::NAN
+            } else {
+                values.iter().sum::<f64>() / values.len() as f64
+            }
+        };
+        println!(
+            "  #{config_id:<3} {:>8.3} {:>8.3}",
+            mean(Organization::Baseline),
+            mean(Organization::Ltrf)
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,250 @@
+//! Content-addressed result cache.
+//!
+//! Every sweep point is identified by the SHA-256 digest of its *key
+//! material*: the canonical JSON of everything that determines its result —
+//! schema version, seeding policy, normalization policy, workload name,
+//! memory selection, and the full [`ExperimentConfig`] (via
+//! [`ExperimentConfig::cache_key_value`]). A cache entry stores the key
+//! material alongside the outcome, so entries are self-describing and a
+//! digest can be re-verified with standard tools.
+//!
+//! Stores are atomic (write to a unique temp file, then rename), so
+//! concurrent workers — or concurrent sweep processes — never observe torn
+//! entries. Loads are tolerant: anything unreadable or unparsable is treated
+//! as a miss and recomputed.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use serde::{Deserialize, Serialize, Value};
+
+use ltrf_core::ExperimentConfig;
+
+use crate::hash::{digest_to_seed, sha256, to_hex};
+use crate::spec::{SeedMode, SweepPoint, SweepSpec};
+
+/// Bump when the result encoding changes; old entries then simply miss.
+pub const CACHE_SCHEMA_VERSION: u32 = 1;
+
+/// Engine fingerprint mixed into every cache key: the workspace version.
+/// Changing simulator/compiler behaviour without bumping the workspace
+/// version (or [`CACHE_SCHEMA_VERSION`]) leaves stale entries valid — during
+/// development, pass `--force` / set `force_recompute` after behavioural
+/// changes, or delete the cache directory. Release-to-release, the version
+/// bump invalidates everything automatically.
+pub const ENGINE_FINGERPRINT: &str = env!("CARGO_PKG_VERSION");
+
+/// The identity of a sweep point, fully resolved.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PointKey {
+    /// Canonical JSON string hashed into the digest.
+    pub material: String,
+    /// Lowercase-hex SHA-256 of the material.
+    pub digest_hex: String,
+    /// The simulation seed this point runs with.
+    pub seed: u64,
+}
+
+/// Computes a point's identity under a spec's policies.
+#[must_use]
+pub fn point_key(spec: &SweepSpec, point: &SweepPoint) -> PointKey {
+    let material = Value::Object(vec![
+        (
+            "version".to_string(),
+            Value::UInt(u64::from(CACHE_SCHEMA_VERSION)),
+        ),
+        (
+            "engine".to_string(),
+            Value::Str(ENGINE_FINGERPRINT.to_string()),
+        ),
+        (
+            "seed_mode".to_string(),
+            Serialize::to_value(&spec.seed_mode),
+        ),
+        ("normalize".to_string(), Value::Bool(spec.normalize)),
+        ("workload".to_string(), Value::Str(point.workload.clone())),
+        ("memory".to_string(), Serialize::to_value(&point.memory)),
+        (
+            "config".to_string(),
+            ExperimentConfig::cache_key_value(&point.config),
+        ),
+    ])
+    .to_json();
+    let digest = sha256(material.as_bytes());
+    let seed = match spec.seed_mode {
+        SeedMode::Fixed(seed) => seed,
+        SeedMode::PerPoint(base) => base ^ digest_to_seed(&digest),
+    };
+    PointKey {
+        material,
+        digest_hex: to_hex(&digest),
+        seed,
+    }
+}
+
+/// An on-disk content-addressed store of point outcomes.
+#[derive(Debug)]
+pub struct ResultCache {
+    dir: PathBuf,
+    temp_counter: AtomicU64,
+}
+
+/// What a cache entry holds on disk. The outcome stays an untyped [`Value`]
+/// here; [`ResultCache::load`] decodes it into the caller's type.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+struct CacheEntry {
+    /// The key material the entry was stored under (self-description).
+    key_material: String,
+    /// The cached outcome.
+    outcome: Value,
+}
+
+impl ResultCache {
+    /// Opens (creating if needed) a cache rooted at `dir`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying I/O error if the directory cannot be created.
+    pub fn open(dir: impl Into<PathBuf>) -> std::io::Result<Self> {
+        let dir = dir.into();
+        fs::create_dir_all(&dir)?;
+        // Sweep temp files orphaned by interrupted stores (crash between
+        // write and rename); live writers always rename promptly, and a
+        // racing delete of a not-yet-renamed temp only costs a recompute.
+        if let Ok(entries) = fs::read_dir(&dir) {
+            for entry in entries.filter_map(Result::ok) {
+                let name = entry.file_name();
+                if name.to_string_lossy().starts_with(".tmp-") {
+                    let _ = fs::remove_file(entry.path());
+                }
+            }
+        }
+        Ok(ResultCache {
+            dir,
+            temp_counter: AtomicU64::new(0),
+        })
+    }
+
+    /// The cache's root directory.
+    #[must_use]
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    fn entry_path(&self, digest_hex: &str) -> PathBuf {
+        self.dir.join(format!("{digest_hex}.json"))
+    }
+
+    /// Loads the outcome stored under `key`, verifying the key material.
+    ///
+    /// Any failure — missing file, torn write, schema drift, digest
+    /// collision on a stale file — is a miss.
+    #[must_use]
+    pub fn load<T: Deserialize>(&self, key: &PointKey) -> Option<T> {
+        let text = fs::read_to_string(self.entry_path(&key.digest_hex)).ok()?;
+        let entry: CacheEntry = serde::from_json_str(&text).ok()?;
+        if entry.key_material != key.material {
+            return None;
+        }
+        T::from_value(&entry.outcome).ok()
+    }
+
+    /// Stores `outcome` under `key` atomically.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying I/O error; callers may treat a failed store as
+    /// non-fatal (the result is still returned to the campaign).
+    pub fn store<T: Serialize>(&self, key: &PointKey, outcome: &T) -> std::io::Result<()> {
+        let entry = CacheEntry {
+            key_material: key.material.clone(),
+            outcome: outcome.to_value(),
+        };
+        let temp = self.dir.join(format!(
+            ".tmp-{}-{}-{}",
+            std::process::id(),
+            self.temp_counter.fetch_add(1, Ordering::Relaxed),
+            key.digest_hex
+        ));
+        fs::write(&temp, serde::to_json_string(&entry))?;
+        fs::rename(&temp, self.entry_path(&key.digest_hex))
+    }
+
+    /// Number of entries currently stored.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying I/O error if the directory cannot be read.
+    pub fn len(&self) -> std::io::Result<usize> {
+        Ok(fs::read_dir(&self.dir)?
+            .filter_map(Result::ok)
+            .filter(|e| e.path().extension().is_some_and(|ext| ext == "json"))
+            .count())
+    }
+
+    /// Whether the cache holds no entries.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying I/O error if the directory cannot be read.
+    pub fn is_empty(&self) -> std::io::Result<bool> {
+        self.len().map(|n| n == 0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::SweepSpec;
+
+    fn test_spec() -> SweepSpec {
+        SweepSpec::builder("cache-test")
+            .workloads(["hotspot", "btree"])
+            .seed_mode(SeedMode::PerPoint(42))
+            .build()
+    }
+
+    #[test]
+    fn keys_are_stable_and_distinct() {
+        let spec = test_spec();
+        let a1 = point_key(&spec, &spec.points[0]);
+        let a2 = point_key(&spec, &spec.points[0]);
+        let b = point_key(&spec, &spec.points[1]);
+        assert_eq!(a1, a2);
+        assert_ne!(a1.digest_hex, b.digest_hex);
+        assert_ne!(a1.seed, b.seed, "per-point seeds decorrelate points");
+        assert_eq!(a1.digest_hex.len(), 64);
+    }
+
+    #[test]
+    fn fixed_seed_mode_pins_every_point() {
+        let spec = SweepSpec::builder("fixed")
+            .workloads(["hotspot", "btree"])
+            .seed_mode(SeedMode::Fixed(7))
+            .build();
+        assert!(spec.points.iter().all(|p| point_key(&spec, p).seed == 7));
+    }
+
+    #[test]
+    fn store_load_round_trip() {
+        let dir =
+            std::env::temp_dir().join(format!("ltrf-sweep-cache-test-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        let cache = ResultCache::open(&dir).unwrap();
+        let spec = test_spec();
+        let key = point_key(&spec, &spec.points[0]);
+        assert!(cache.load::<f64>(&key).is_none());
+        cache.store(&key, &1.25f64).unwrap();
+        assert_eq!(cache.load::<f64>(&key), Some(1.25));
+        assert_eq!(cache.len().unwrap(), 1);
+        // A corrupted entry is a miss, not an error.
+        fs::write(
+            cache.dir().join(format!("{}.json", key.digest_hex)),
+            "{truncated",
+        )
+        .unwrap();
+        assert!(cache.load::<f64>(&key).is_none());
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,275 @@
+//! The sharded campaign executor.
+//!
+//! [`run_sweep`] takes a [`SweepSpec`] and evaluates every point across all
+//! cores: workers claim points from a shared queue (so uneven point costs
+//! balance out), each point runs under panic isolation, per-point seeds
+//! follow the spec's [`SeedMode`], and — when a cache is attached — outcomes
+//! are served from and stored to the content-addressed [`ResultCache`].
+
+use std::collections::HashMap;
+use std::path::PathBuf;
+
+use serde::{Deserialize, Serialize};
+
+use ltrf_core::{run_experiment, run_normalized, RunResult};
+use ltrf_workloads::{evaluated_suite, Workload};
+
+use crate::cache::{point_key, PointKey, ResultCache};
+use crate::pool::{panic_message, parallel_map};
+use crate::spec::{SweepPoint, SweepSpec};
+
+/// The data produced by a successfully evaluated point.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PointData {
+    /// The raw run result.
+    pub result: RunResult,
+    /// IPC relative to the baseline reference (when the spec normalizes).
+    pub normalized_ipc: Option<f64>,
+    /// Register-file power relative to the baseline reference (when the
+    /// spec normalizes).
+    pub normalized_power: Option<f64>,
+}
+
+/// How a point concluded.
+///
+/// The success variant carries the full per-run statistics inline; campaigns
+/// allocate one of these per point anyway, so boxing would only add pointer
+/// chasing to the hot reporting paths.
+#[allow(clippy::large_enum_variant)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum PointOutcome {
+    /// The point ran (or was cached) successfully.
+    Ok(PointData),
+    /// The runner returned an error (e.g. a compiler failure or an unknown
+    /// workload name).
+    Error(String),
+    /// The point panicked; the shard survived and the payload is recorded.
+    Panicked(String),
+}
+
+impl PointOutcome {
+    /// The point's data, if it succeeded.
+    #[must_use]
+    pub fn data(&self) -> Option<&PointData> {
+        match self {
+            PointOutcome::Ok(data) => Some(data),
+            _ => None,
+        }
+    }
+
+    /// Whether the point failed (error or panic).
+    #[must_use]
+    pub fn is_failure(&self) -> bool {
+        !matches!(self, PointOutcome::Ok(_))
+    }
+}
+
+/// One evaluated point: identity, outcome, and provenance.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PointRecord {
+    /// The point as specified.
+    pub point: SweepPoint,
+    /// The content digest the point is cached under.
+    pub digest_hex: String,
+    /// The seed the point ran with.
+    pub seed: u64,
+    /// The outcome.
+    pub outcome: PointOutcome,
+    /// Whether the outcome was served from the cache.
+    pub from_cache: bool,
+}
+
+/// A completed campaign.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SweepResults {
+    /// Campaign name (from the spec).
+    pub name: String,
+    /// One record per spec point, in spec order.
+    pub records: Vec<PointRecord>,
+}
+
+impl SweepResults {
+    /// Number of points.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Whether the campaign had no points.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Number of points served from the cache.
+    #[must_use]
+    pub fn cached_count(&self) -> usize {
+        self.records.iter().filter(|r| r.from_cache).count()
+    }
+
+    /// Number of points computed in this run.
+    #[must_use]
+    pub fn computed_count(&self) -> usize {
+        self.len() - self.cached_count()
+    }
+
+    /// Number of failed points (errors plus panics).
+    #[must_use]
+    pub fn failure_count(&self) -> usize {
+        self.records
+            .iter()
+            .filter(|r| r.outcome.is_failure())
+            .count()
+    }
+
+    /// Fraction of points served from the cache, in `[0, 1]`.
+    #[must_use]
+    pub fn cache_hit_rate(&self) -> f64 {
+        if self.records.is_empty() {
+            0.0
+        } else {
+            self.cached_count() as f64 / self.len() as f64
+        }
+    }
+
+    /// Iterates over successful records with their data.
+    pub fn successes(&self) -> impl Iterator<Item = (&PointRecord, &PointData)> {
+        self.records
+            .iter()
+            .filter_map(|r| r.outcome.data().map(|d| (r, d)))
+    }
+}
+
+/// Execution policy knobs.
+#[derive(Debug, Default)]
+pub struct ExecutorOptions {
+    /// Worker threads; `None` uses every available core.
+    pub threads: Option<usize>,
+    /// Cache directory; `None` disables caching.
+    pub cache_dir: Option<PathBuf>,
+    /// When `true`, ignore cached outcomes (but still store fresh ones).
+    pub force_recompute: bool,
+}
+
+/// Runs a campaign.
+///
+/// Never fails as a whole: per-point problems (unknown workloads, runner
+/// errors, panics) become failure records, and an unusable cache directory
+/// degrades to running uncached with a note on stderr.
+#[must_use]
+pub fn run_sweep(spec: &SweepSpec, options: &ExecutorOptions) -> SweepResults {
+    let cache = options.cache_dir.as_ref().and_then(|dir| {
+        ResultCache::open(dir)
+            .map_err(|e| {
+                eprintln!(
+                    "sweep: cache at {} unusable ({e}); running uncached",
+                    dir.display()
+                )
+            })
+            .ok()
+    });
+    let suite: HashMap<&str, Workload> = evaluated_suite()
+        .into_iter()
+        .map(|w| (w.name(), w))
+        .collect();
+
+    let records = parallel_map(&spec.points, options.threads, |_, point| {
+        let key = point_key(spec, point);
+        if let (Some(cache), false) = (&cache, options.force_recompute) {
+            if let Some(outcome) = cache.load::<PointOutcome>(&key) {
+                return make_record(point, &key, outcome, true);
+            }
+        }
+        let outcome = evaluate_point(spec, point, &suite, key.seed);
+        // Only successes are cached: failures may be transient (and must
+        // stay visible on every run until fixed).
+        if let (Some(cache), PointOutcome::Ok(_)) = (&cache, &outcome) {
+            if let Err(e) = cache.store(&key, &outcome) {
+                eprintln!("sweep: failed to store {}: {e}", key.digest_hex);
+            }
+        }
+        make_record(point, &key, outcome, false)
+    });
+
+    let records = records
+        .into_iter()
+        .zip(&spec.points)
+        .map(|(result, point)| {
+            result.unwrap_or_else(|panic_msg| {
+                // The evaluation itself is already panic-isolated, so this
+                // only triggers if record assembly or the cache panicked.
+                let key = point_key(spec, point);
+                make_record(point, &key, PointOutcome::Panicked(panic_msg), false)
+            })
+        })
+        .collect();
+
+    SweepResults {
+        name: spec.name.clone(),
+        records,
+    }
+}
+
+fn make_record(
+    point: &SweepPoint,
+    key: &PointKey,
+    outcome: PointOutcome,
+    from_cache: bool,
+) -> PointRecord {
+    PointRecord {
+        point: point.clone(),
+        digest_hex: key.digest_hex.clone(),
+        seed: key.seed,
+        outcome,
+        from_cache,
+    }
+}
+
+/// Evaluates one point, converting panics into [`PointOutcome::Panicked`].
+fn evaluate_point(
+    spec: &SweepSpec,
+    point: &SweepPoint,
+    suite: &HashMap<&str, Workload>,
+    seed: u64,
+) -> PointOutcome {
+    let Some(workload) = suite.get(point.workload.as_str()) else {
+        return PointOutcome::Error(format!(
+            "unknown workload `{}` (not in the evaluated suite)",
+            point.workload
+        ));
+    };
+    let memory = point.memory.behavior(workload);
+    let run = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        if spec.normalize {
+            run_normalized(&workload.kernel, memory, seed, &point.config).map(|n| PointData {
+                result: n.result,
+                normalized_ipc: Some(n.normalized_ipc),
+                normalized_power: Some(n.normalized_power),
+            })
+        } else {
+            run_experiment(&workload.kernel, memory, seed, &point.config).map(|r| PointData {
+                result: r,
+                normalized_ipc: None,
+                normalized_power: None,
+            })
+        }
+    }));
+    match run {
+        Ok(Ok(data)) => PointOutcome::Ok(data),
+        Ok(Err(core_err)) => PointOutcome::Error(core_err.to_string()),
+        Err(payload) => PointOutcome::Panicked(panic_message(payload)),
+    }
+}
+
+/// Order-preserving parallel map over arbitrary items with panic isolation:
+/// the engine's raw primitive, re-exported for harness code (the per-figure
+/// experiment functions in `ltrf-bench`) that parallelizes shapes a
+/// cross-product spec does not express.
+pub fn parallel_points<T, R, F>(items: &[T], threads: Option<usize>, f: F) -> Vec<Result<R, String>>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    parallel_map(items, threads, |_, item| f(item))
+}

@@ -1,0 +1,57 @@
+//! # ltrf-sweep
+//!
+//! The design-space-exploration engine of the LTRF reproduction. The paper's
+//! evaluation is a large cross-product — register-file organizations ×
+//! workloads × Table 2 design points × latency factors — and this crate
+//! turns that into a first-class, declarative, parallel campaign driver:
+//!
+//! * [`SweepSpec`] / [`SweepSpecBuilder`] enumerate arbitrary cross-products
+//!   over [`ltrf_core::Organization`], workload selections,
+//!   [`ltrf_core::ExperimentConfig`] design points, latency factors, and
+//!   memory-behaviour variants;
+//! * [`run_sweep`] shards the run matrix across all cores with deterministic
+//!   per-point seeds and panic isolation (one bad point yields an error
+//!   record, not a dead campaign);
+//! * [`ResultCache`] content-addresses outcomes (SHA-256 of the canonical
+//!   point encoding) so re-running a figure only recomputes changed points;
+//! * [`report`] renders campaigns as JSON and CSV, and the `sweep` binary
+//!   reproduces Figure 9, Figure 11, and Table 2 end-to-end.
+//!
+//! The per-figure harness in `ltrf-bench` drives its parallelism through
+//! [`parallel_points`], so every `fig*`/`table*` binary rides this engine.
+//!
+//! ```
+//! use ltrf_sweep::{run_sweep, ExecutorOptions, SweepSpec};
+//! use ltrf_core::Organization;
+//!
+//! let spec = SweepSpec::builder("doc-example")
+//!     .workloads(["hotspot"])
+//!     .organizations([Organization::Baseline, Organization::Ltrf])
+//!     .build();
+//! let results = run_sweep(&spec, &ExecutorOptions::default());
+//! assert_eq!(results.len(), 2);
+//! assert_eq!(results.failure_count(), 0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod executor;
+pub mod hash;
+pub mod pool;
+pub mod report;
+pub mod spec;
+
+/// The fixed campaign seed shared by every driver of the engine (the
+/// per-figure harness in `ltrf-bench` and the `sweep` CLI), so their cached
+/// points are interchangeable. There is deliberately exactly one copy of
+/// this literal in the workspace.
+pub const CAMPAIGN_SEED: u64 = 0x17F2_2018;
+
+pub use cache::{point_key, PointKey, ResultCache, CACHE_SCHEMA_VERSION, ENGINE_FINGERPRINT};
+pub use executor::{
+    parallel_points, run_sweep, ExecutorOptions, PointData, PointOutcome, PointRecord, SweepResults,
+};
+pub use pool::{default_threads, parallel_map};
+pub use spec::{MemorySelection, SeedMode, SweepPoint, SweepSpec, SweepSpecBuilder};

@@ -1,0 +1,106 @@
+//! Structured campaign reporters: JSON (full fidelity) and CSV (flat, one
+//! row per point, ready for plotting tools).
+
+use std::fs;
+use std::io;
+use std::path::Path;
+
+use crate::executor::{PointOutcome, SweepResults};
+use crate::spec::MemorySelection;
+
+/// Writes the full campaign as JSON.
+///
+/// # Errors
+///
+/// Returns the underlying I/O error.
+pub fn write_json(results: &SweepResults, path: impl AsRef<Path>) -> io::Result<()> {
+    fs::write(path, serde::to_json_string(results))
+}
+
+/// Reads a campaign back from a JSON report.
+///
+/// # Errors
+///
+/// Returns an I/O error for unreadable files and `InvalidData` for files
+/// that do not parse as a campaign.
+pub fn read_json(path: impl AsRef<Path>) -> io::Result<SweepResults> {
+    let text = fs::read_to_string(path)?;
+    serde::from_json_str(&text).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
+}
+
+fn csv_escape(field: &str) -> String {
+    if field.contains(',') || field.contains('"') || field.contains('\n') {
+        format!("\"{}\"", field.replace('"', "\"\""))
+    } else {
+        field.to_string()
+    }
+}
+
+fn memory_label(memory: MemorySelection) -> &'static str {
+    match memory {
+        MemorySelection::WorkloadDefault => "default",
+        MemorySelection::Streaming => "streaming",
+        MemorySelection::CacheResident => "cache_resident",
+        MemorySelection::Irregular => "irregular",
+    }
+}
+
+/// Renders the campaign as CSV text.
+#[must_use]
+pub fn to_csv(results: &SweepResults) -> String {
+    let mut out = String::from(
+        "workload,organization,config_id,latency_factor,registers_per_interval,active_warps,\
+         memory,seed,status,ipc,normalized_ipc,normalized_power,cache_hit_rate,from_cache,error\n",
+    );
+    for record in &results.records {
+        let point = &record.point;
+        let (status, error) = match &record.outcome {
+            PointOutcome::Ok(_) => ("ok", String::new()),
+            PointOutcome::Error(e) => ("error", e.clone()),
+            PointOutcome::Panicked(e) => ("panicked", e.clone()),
+        };
+        let data = record.outcome.data();
+        let float = |v: Option<f64>| v.map(|f| format!("{f:.6}")).unwrap_or_default();
+        let row = [
+            csv_escape(&point.workload),
+            point.config.organization.label().to_string(),
+            point.config.mrf_config.id.0.to_string(),
+            format!("{:.3}", point.config.latency_factor()),
+            point.config.registers_per_interval.to_string(),
+            point.config.active_warps.to_string(),
+            memory_label(point.memory).to_string(),
+            record.seed.to_string(),
+            status.to_string(),
+            float(data.map(|d| d.result.ipc)),
+            float(data.and_then(|d| d.normalized_ipc)),
+            float(data.and_then(|d| d.normalized_power)),
+            float(data.and_then(|d| d.result.cache_hit_rate)),
+            record.from_cache.to_string(),
+            csv_escape(&error),
+        ];
+        out.push_str(&row.join(","));
+        out.push('\n');
+    }
+    out
+}
+
+/// Writes the campaign as CSV.
+///
+/// # Errors
+///
+/// Returns the underlying I/O error.
+pub fn write_csv(results: &SweepResults, path: impl AsRef<Path>) -> io::Result<()> {
+    fs::write(path, to_csv(results))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn csv_escaping() {
+        assert_eq!(csv_escape("plain"), "plain");
+        assert_eq!(csv_escape("a,b"), "\"a,b\"");
+        assert_eq!(csv_escape("say \"hi\""), "\"say \"\"hi\"\"\"");
+    }
+}

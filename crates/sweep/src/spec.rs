@@ -1,0 +1,304 @@
+//! Declarative sweep specifications.
+//!
+//! A [`SweepSpec`] names a campaign, fixes its seeding policy, and carries
+//! the list of [`SweepPoint`]s to evaluate. Specs are normally produced by
+//! [`SweepSpecBuilder`], which enumerates the cross-product of whatever axes
+//! the caller varies: register-file organization, workload, Table 2 design
+//! point, latency factor, registers per register-interval, active warps, and
+//! memory behaviour.
+
+use serde::{Deserialize, Serialize};
+
+use ltrf_core::{ExperimentConfig, Organization};
+use ltrf_sim::MemoryBehavior;
+use ltrf_workloads::Workload;
+
+/// Memory behaviour selection for a point.
+///
+/// A sweep axis must be serializable for content addressing, and
+/// [`MemoryBehavior`]'s calibrated profiles are reachable from these tokens,
+/// so points carry the token rather than the raw behaviour.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum MemorySelection {
+    /// The workload's own calibrated memory profile (the default).
+    WorkloadDefault,
+    /// Force coalesced streaming behaviour.
+    Streaming,
+    /// Force a cache-resident working set.
+    CacheResident,
+    /// Force scattered, data-dependent accesses.
+    Irregular,
+}
+
+impl MemorySelection {
+    /// Resolves the selection against a concrete workload.
+    #[must_use]
+    pub fn behavior(self, workload: &Workload) -> MemoryBehavior {
+        match self {
+            MemorySelection::WorkloadDefault => workload.memory(),
+            MemorySelection::Streaming => MemoryBehavior::streaming(),
+            MemorySelection::CacheResident => MemoryBehavior::cache_resident(),
+            MemorySelection::Irregular => MemoryBehavior::irregular(),
+        }
+    }
+}
+
+/// How per-point simulation seeds are chosen.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SeedMode {
+    /// Every point runs with exactly this seed (the historical behaviour of
+    /// the per-figure harness functions, which compare organizations on
+    /// identical dynamic traces).
+    Fixed(u64),
+    /// Each point's seed is derived from the base seed and the point's
+    /// content digest, so points are decorrelated but still reproducible.
+    PerPoint(u64),
+}
+
+impl SeedMode {
+    /// The base seed of either mode.
+    #[must_use]
+    pub fn base_seed(self) -> u64 {
+        match self {
+            SeedMode::Fixed(seed) | SeedMode::PerPoint(seed) => seed,
+        }
+    }
+}
+
+/// One point of the design space: a workload under an experiment
+/// configuration and a memory behaviour.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SweepPoint {
+    /// Workload name (resolved against the evaluated suite at run time).
+    pub workload: String,
+    /// Memory behaviour selection.
+    pub memory: MemorySelection,
+    /// The full experiment configuration (organization, Table 2 design
+    /// point, latency override, interval size, active warps, RFC capacity).
+    pub config: ExperimentConfig,
+}
+
+/// A named campaign: seeding policy, normalization policy, and points.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SweepSpec {
+    /// Campaign name (used for report file names).
+    pub name: String,
+    /// Seeding policy.
+    pub seed_mode: SeedMode,
+    /// When `true`, every point is normalized against the baseline reference
+    /// on the same kernel/memory/seed (the paper's reporting convention).
+    pub normalize: bool,
+    /// The run matrix.
+    pub points: Vec<SweepPoint>,
+}
+
+impl SweepSpec {
+    /// Starts a builder for a campaign with the given name.
+    #[must_use]
+    pub fn builder(name: impl Into<String>) -> SweepSpecBuilder {
+        SweepSpecBuilder::new(name)
+    }
+}
+
+/// Enumerates the cross-product of the configured axes.
+///
+/// Every axis has a sensible default, so a builder with only workloads and
+/// organizations set produces the classic "who wins on configuration #6"
+/// matrix. Setting an axis replaces its default entirely.
+#[derive(Debug, Clone)]
+pub struct SweepSpecBuilder {
+    name: String,
+    seed_mode: SeedMode,
+    normalize: bool,
+    organizations: Vec<Organization>,
+    workloads: Vec<String>,
+    config_ids: Vec<u8>,
+    latency_factors: Vec<Option<f64>>,
+    registers_per_interval: Vec<usize>,
+    active_warps: Vec<usize>,
+    memory: Vec<MemorySelection>,
+}
+
+impl SweepSpecBuilder {
+    /// Creates a builder with single-value defaults on every axis.
+    #[must_use]
+    pub fn new(name: impl Into<String>) -> Self {
+        SweepSpecBuilder {
+            name: name.into(),
+            seed_mode: SeedMode::Fixed(crate::CAMPAIGN_SEED),
+            normalize: true,
+            organizations: vec![Organization::Ltrf],
+            workloads: Vec::new(),
+            config_ids: vec![6],
+            latency_factors: vec![None],
+            registers_per_interval: vec![16],
+            active_warps: vec![8],
+            memory: vec![MemorySelection::WorkloadDefault],
+        }
+    }
+
+    /// Sets the seeding policy.
+    #[must_use]
+    pub fn seed_mode(mut self, mode: SeedMode) -> Self {
+        self.seed_mode = mode;
+        self
+    }
+
+    /// Sets whether points are normalized against the baseline reference.
+    #[must_use]
+    pub fn normalize(mut self, normalize: bool) -> Self {
+        self.normalize = normalize;
+        self
+    }
+
+    /// Sets the organization axis.
+    #[must_use]
+    pub fn organizations(mut self, orgs: impl IntoIterator<Item = Organization>) -> Self {
+        self.organizations = orgs.into_iter().collect();
+        self
+    }
+
+    /// Sets the workload axis by name.
+    #[must_use]
+    pub fn workloads<S: Into<String>>(mut self, names: impl IntoIterator<Item = S>) -> Self {
+        self.workloads = names.into_iter().map(Into::into).collect();
+        self
+    }
+
+    /// Sets the workload axis to the full evaluated suite.
+    #[must_use]
+    pub fn full_suite(self) -> Self {
+        let names: Vec<String> = ltrf_workloads::evaluated_suite()
+            .iter()
+            .map(|w| w.name().to_string())
+            .collect();
+        self.workloads(names)
+    }
+
+    /// Sets the Table 2 design-point axis (ids in `1..=7`).
+    #[must_use]
+    pub fn config_ids(mut self, ids: impl IntoIterator<Item = u8>) -> Self {
+        self.config_ids = ids.into_iter().collect();
+        self
+    }
+
+    /// Sets the latency-factor axis. `None` keeps a design point's
+    /// calibrated factor; `Some(f)` overrides it (Figures 11–14).
+    #[must_use]
+    pub fn latency_factors(mut self, factors: impl IntoIterator<Item = Option<f64>>) -> Self {
+        self.latency_factors = factors.into_iter().collect();
+        self
+    }
+
+    /// Sets the registers-per-interval axis (Figure 12).
+    #[must_use]
+    pub fn registers_per_interval(mut self, sizes: impl IntoIterator<Item = usize>) -> Self {
+        self.registers_per_interval = sizes.into_iter().collect();
+        self
+    }
+
+    /// Sets the active-warp axis (Figure 13).
+    #[must_use]
+    pub fn active_warps(mut self, warps: impl IntoIterator<Item = usize>) -> Self {
+        self.active_warps = warps.into_iter().collect();
+        self
+    }
+
+    /// Sets the memory-behaviour axis.
+    #[must_use]
+    pub fn memory(mut self, selections: impl IntoIterator<Item = MemorySelection>) -> Self {
+        self.memory = selections.into_iter().collect();
+        self
+    }
+
+    /// Enumerates the cross-product into a spec.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the workload axis is empty (there is nothing to run) or a
+    /// config id is outside `1..=7` — both are static campaign-definition
+    /// bugs, not runtime conditions.
+    #[must_use]
+    pub fn build(self) -> SweepSpec {
+        assert!(
+            !self.workloads.is_empty(),
+            "sweep `{}` has no workloads; call workloads() or full_suite()",
+            self.name
+        );
+        let axis_len = self.organizations.len()
+            * self.workloads.len()
+            * self.config_ids.len()
+            * self.latency_factors.len()
+            * self.registers_per_interval.len()
+            * self.active_warps.len()
+            * self.memory.len();
+        let mut points = Vec::with_capacity(axis_len);
+        for workload in &self.workloads {
+            for &org in &self.organizations {
+                for &config_id in &self.config_ids {
+                    for &latency in &self.latency_factors {
+                        for &rpi in &self.registers_per_interval {
+                            for &warps in &self.active_warps {
+                                for &memory in &self.memory {
+                                    let mut config = ExperimentConfig::for_table2(org, config_id)
+                                        .with_registers_per_interval(rpi)
+                                        .with_active_warps(warps);
+                                    config.latency_factor_override = latency;
+                                    points.push(SweepPoint {
+                                        workload: workload.clone(),
+                                        memory,
+                                        config,
+                                    });
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        SweepSpec {
+            name: self.name,
+            seed_mode: self.seed_mode,
+            normalize: self.normalize,
+            points,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cross_product_enumerates_every_axis() {
+        let spec = SweepSpec::builder("test")
+            .workloads(["hotspot", "btree"])
+            .organizations([Organization::Baseline, Organization::Ltrf])
+            .config_ids([6, 7])
+            .latency_factors([None, Some(4.0)])
+            .build();
+        assert_eq!(spec.points.len(), 2 * 2 * 2 * 2);
+        // Every combination is distinct.
+        for (i, a) in spec.points.iter().enumerate() {
+            for b in &spec.points[i + 1..] {
+                assert_ne!(a, b);
+            }
+        }
+    }
+
+    #[test]
+    fn defaults_are_single_valued() {
+        let spec = SweepSpec::builder("one").workloads(["hotspot"]).build();
+        assert_eq!(spec.points.len(), 1);
+        let p = &spec.points[0];
+        assert_eq!(p.config.organization, Organization::Ltrf);
+        assert_eq!(p.config.mrf_config.id.0, 6);
+        assert_eq!(p.memory, MemorySelection::WorkloadDefault);
+    }
+
+    #[test]
+    #[should_panic(expected = "no workloads")]
+    fn empty_workload_axis_is_rejected() {
+        let _ = SweepSpec::builder("empty").build();
+    }
+}

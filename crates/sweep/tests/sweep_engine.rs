@@ -1,0 +1,181 @@
+//! Integration tests for the sweep engine: determinism, cache round-trips,
+//! and failure isolation.
+
+use std::path::PathBuf;
+
+use ltrf_core::Organization;
+use ltrf_sweep::{run_sweep, ExecutorOptions, PointOutcome, SeedMode, SweepPoint, SweepSpec};
+
+/// A small campaign that still crosses two axes.
+fn small_spec(name: &str) -> SweepSpec {
+    SweepSpec::builder(name)
+        .workloads(["hotspot", "btree"])
+        .organizations([Organization::Baseline, Organization::Ltrf])
+        .config_ids([6])
+        .seed_mode(SeedMode::PerPoint(2018))
+        .build()
+}
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("ltrf-sweep-it-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+#[test]
+fn same_spec_and_seed_is_bit_identical() {
+    let spec = small_spec("determinism");
+    let options = ExecutorOptions::default();
+    let first = run_sweep(&spec, &options);
+    let second = run_sweep(&spec, &options);
+    assert_eq!(first.failure_count(), 0);
+    // Bit-identical: the canonical JSON encodings match byte for byte
+    // (floats use shortest round-trip formatting, so this is exact).
+    assert_eq!(
+        serde::to_json_string(&first),
+        serde::to_json_string(&second)
+    );
+    // A different base seed must actually change something.
+    let mut reseeded_spec = spec.clone();
+    reseeded_spec.seed_mode = SeedMode::PerPoint(9999);
+    let reseeded = run_sweep(&reseeded_spec, &options);
+    assert_ne!(
+        serde::to_json_string(&first),
+        serde::to_json_string(&reseeded)
+    );
+}
+
+#[test]
+fn warm_rerun_is_served_entirely_from_cache_with_identical_stats() {
+    let spec = small_spec("cache-round-trip");
+    let cache_dir = temp_dir("cache");
+    let options = ExecutorOptions {
+        cache_dir: Some(cache_dir.clone()),
+        ..ExecutorOptions::default()
+    };
+    let cold = run_sweep(&spec, &options);
+    assert_eq!(cold.cached_count(), 0);
+    assert_eq!(cold.computed_count(), spec.points.len());
+    assert_eq!(cold.failure_count(), 0);
+
+    let warm = run_sweep(&spec, &options);
+    assert_eq!(
+        warm.computed_count(),
+        0,
+        "warm rerun must recompute zero points"
+    );
+    assert_eq!(warm.cached_count(), spec.points.len());
+    assert!((warm.cache_hit_rate() - 1.0).abs() < 1e-12);
+    // The cached outcomes round-trip exactly: every record matches the cold
+    // run except for its provenance flag.
+    for (cold_record, warm_record) in cold.records.iter().zip(&warm.records) {
+        assert_eq!(cold_record.point, warm_record.point);
+        assert_eq!(cold_record.digest_hex, warm_record.digest_hex);
+        assert_eq!(cold_record.seed, warm_record.seed);
+        assert_eq!(cold_record.outcome, warm_record.outcome);
+        assert!(!cold_record.from_cache);
+        assert!(warm_record.from_cache);
+    }
+
+    // `force_recompute` bypasses the cache but produces the same data.
+    let forced = run_sweep(
+        &spec,
+        &ExecutorOptions {
+            cache_dir: Some(cache_dir.clone()),
+            force_recompute: true,
+            ..ExecutorOptions::default()
+        },
+    );
+    assert_eq!(forced.cached_count(), 0);
+    for (cold_record, forced_record) in cold.records.iter().zip(&forced.records) {
+        assert_eq!(cold_record.outcome, forced_record.outcome);
+    }
+    let _ = std::fs::remove_dir_all(&cache_dir);
+}
+
+#[test]
+fn editing_the_spec_only_recomputes_changed_points() {
+    let cache_dir = temp_dir("incremental");
+    let options = ExecutorOptions {
+        cache_dir: Some(cache_dir.clone()),
+        ..ExecutorOptions::default()
+    };
+    let base = small_spec("incremental");
+    let cold = run_sweep(&base, &options);
+    assert_eq!(cold.failure_count(), 0);
+
+    // Grow the campaign by one organization: only the new points compute.
+    let grown = SweepSpec::builder("incremental")
+        .workloads(["hotspot", "btree"])
+        .organizations([
+            Organization::Baseline,
+            Organization::Ltrf,
+            Organization::Rfc,
+        ])
+        .config_ids([6])
+        .seed_mode(SeedMode::PerPoint(2018))
+        .build();
+    let warm = run_sweep(&grown, &options);
+    assert_eq!(warm.cached_count(), base.points.len());
+    assert_eq!(
+        warm.computed_count(),
+        grown.points.len() - base.points.len()
+    );
+    let _ = std::fs::remove_dir_all(&cache_dir);
+}
+
+#[test]
+fn a_failing_point_does_not_poison_its_shard() {
+    let mut spec = small_spec("isolation");
+    // Splice in a point that cannot run (unknown workload) between valid
+    // points, and run single-threaded so everything shares one shard.
+    let poison = SweepPoint {
+        workload: "no-such-workload".to_string(),
+        ..spec.points[0].clone()
+    };
+    spec.points.insert(1, poison);
+    let results = run_sweep(
+        &spec,
+        &ExecutorOptions {
+            threads: Some(1),
+            ..ExecutorOptions::default()
+        },
+    );
+    assert_eq!(results.len(), 5);
+    assert_eq!(results.failure_count(), 1);
+    match &results.records[1].outcome {
+        PointOutcome::Error(message) => {
+            assert!(message.contains("no-such-workload"), "got: {message}");
+        }
+        other => panic!("expected an error record, got {other:?}"),
+    }
+    // Every other point on the same shard still succeeded.
+    for (i, record) in results.records.iter().enumerate() {
+        if i != 1 {
+            assert!(
+                matches!(record.outcome, PointOutcome::Ok(_)),
+                "point {i} was poisoned: {:?}",
+                record.outcome
+            );
+        }
+    }
+}
+
+#[test]
+fn failures_are_not_cached() {
+    let cache_dir = temp_dir("no-fail-cache");
+    let options = ExecutorOptions {
+        cache_dir: Some(cache_dir.clone()),
+        ..ExecutorOptions::default()
+    };
+    let mut spec = small_spec("no-fail-cache");
+    spec.points[0].workload = "still-not-a-workload".to_string();
+    let cold = run_sweep(&spec, &options);
+    assert_eq!(cold.failure_count(), 1);
+    let warm = run_sweep(&spec, &options);
+    // The failed point is recomputed (and fails again); the rest hit.
+    assert_eq!(warm.computed_count(), 1);
+    assert_eq!(warm.cached_count(), spec.points.len() - 1);
+    assert!(!warm.records[0].from_cache);
+    let _ = std::fs::remove_dir_all(&cache_dir);
+}

@@ -106,7 +106,9 @@ impl BankModel {
         // from bank conflicts is modelled in the timing simulator, not here.
         let size_latency = self.bank_size_factor.max(1e-9).sqrt().max(1.0);
         let cell_latency = tech.relative_cell_latency();
-        let network_latency = self.network.traversal_latency_factor(self.bank_count_factor);
+        let network_latency = self
+            .network
+            .traversal_latency_factor(self.bank_count_factor);
         let latency_factor = cell_latency * (0.75 + 0.25 * size_latency) + network_latency;
 
         // --- Area ----------------------------------------------------------
@@ -153,7 +155,11 @@ mod tests {
     fn baseline_normalizes_to_one() {
         let e = BankModel::baseline().estimate();
         assert!((e.capacity_factor - 1.0).abs() < 1e-9);
-        assert!((e.latency_factor - 1.0).abs() < 0.05, "latency {}", e.latency_factor);
+        assert!(
+            (e.latency_factor - 1.0).abs() < 0.05,
+            "latency {}",
+            e.latency_factor
+        );
         assert!((e.area_factor - 1.0).abs() < 0.05);
         assert!((e.power_factor - 1.0).abs() < 0.05);
         assert!((e.capacity_per_area() - 1.0).abs() < 0.06);
@@ -163,13 +169,8 @@ mod tests {
     #[test]
     fn bigger_banks_are_slower() {
         let small = BankModel::baseline().estimate();
-        let big = BankModel::new(
-            CellTechnology::HpSram,
-            1.0,
-            8.0,
-            NetworkTopology::Crossbar,
-        )
-        .estimate();
+        let big =
+            BankModel::new(CellTechnology::HpSram, 1.0, 8.0, NetworkTopology::Crossbar).estimate();
         assert!(big.latency_factor > small.latency_factor);
         assert!(big.capacity_factor > small.capacity_factor);
         assert!(big.power_factor > small.power_factor);
@@ -185,8 +186,14 @@ mod tests {
         )
         .estimate();
         assert!(dwm.capacity_factor >= 7.9);
-        assert!(dwm.area_factor < 1.0, "8x DWM should be smaller than baseline");
-        assert!(dwm.power_factor < 1.0, "8x DWM should use less power than baseline");
+        assert!(
+            dwm.area_factor < 1.0,
+            "8x DWM should be smaller than baseline"
+        );
+        assert!(
+            dwm.power_factor < 1.0,
+            "8x DWM should use less power than baseline"
+        );
         assert!(dwm.latency_factor > 4.0, "DWM should be much slower");
     }
 
@@ -200,7 +207,10 @@ mod tests {
         )
         .estimate();
         assert!(tfet.capacity_factor >= 7.9);
-        assert!(tfet.power_factor < 1.5, "TFET at 8x should stay near baseline power");
+        assert!(
+            tfet.power_factor < 1.5,
+            "TFET at 8x should stay near baseline power"
+        );
         assert!(tfet.latency_factor > 3.0);
     }
 

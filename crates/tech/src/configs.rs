@@ -82,7 +82,7 @@ impl RegFileConfig {
     /// Returns the baseline configuration (#1).
     #[must_use]
     pub fn baseline() -> Self {
-        *&TABLE2[0]
+        TABLE2[0]
     }
 
     /// Returns configuration `id` (1–7) from Table 2.
@@ -225,10 +225,16 @@ mod tests {
 
     #[test]
     fn latency_ordering_matches_paper() {
-        let latencies: Vec<f64> = RegFileConfig::table2().iter().map(|c| c.latency_factor).collect();
+        let latencies: Vec<f64> = RegFileConfig::table2()
+            .iter()
+            .map(|c| c.latency_factor)
+            .collect();
         let mut sorted = latencies.clone();
         sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
-        assert_eq!(latencies, sorted, "Table 2 latency increases with config id");
+        assert_eq!(
+            latencies, sorted,
+            "Table 2 latency increases with config id"
+        );
         assert_eq!(latencies[6], 6.3);
     }
 

@@ -7,10 +7,12 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
+use serde::Serialize;
 
 /// One GPU generation's on-chip memory breakdown, in megabytes.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+///
+/// Static catalogue data (`&'static str` name), so it is serialize-only.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
 pub struct GpuGeneration {
     /// Marketing architecture name.
     pub name: &'static str,
@@ -104,9 +106,9 @@ mod tests {
         let gens = figure2_generations();
         // The trend is upward overall, with a small dip at Maxwell whose SMs
         // traded register capacity for larger shared memory.
-        assert!(gens.windows(2).all(|w| {
-            w[0].register_file_share() <= w[1].register_file_share() + 0.08
-        }));
+        assert!(gens
+            .windows(2)
+            .all(|w| { w[0].register_file_share() <= w[1].register_file_share() + 0.08 }));
         // Pascal dedicates more than 60% of on-chip storage to registers.
         assert!(gens[3].register_file_share() > 0.6);
         assert!((gens[3].register_file_mb - 14.3).abs() < 1e-9);

@@ -87,7 +87,10 @@ mod tests {
     fn butterfly_beats_crossbar_area_at_high_port_counts() {
         let xbar = NetworkTopology::Crossbar.area_factor(8.0, 1.0);
         let fb = NetworkTopology::FlattenedButterfly.area_factor(8.0, 1.0);
-        assert!(fb < xbar, "flattened butterfly should be smaller at 8x banks");
+        assert!(
+            fb < xbar,
+            "flattened butterfly should be smaller at 8x banks"
+        );
     }
 
     #[test]
@@ -101,12 +104,18 @@ mod tests {
     #[test]
     fn names_match_table2() {
         assert_eq!(NetworkTopology::Crossbar.to_string(), "Crossbar");
-        assert_eq!(NetworkTopology::FlattenedButterfly.to_string(), "F. Butterfly");
+        assert_eq!(
+            NetworkTopology::FlattenedButterfly.to_string(),
+            "F. Butterfly"
+        );
     }
 
     #[test]
     fn energy_grows_with_ports() {
-        for topo in [NetworkTopology::Crossbar, NetworkTopology::FlattenedButterfly] {
+        for topo in [
+            NetworkTopology::Crossbar,
+            NetworkTopology::FlattenedButterfly,
+        ] {
             assert!(topo.energy_factor(8.0) > topo.energy_factor(1.0));
         }
     }

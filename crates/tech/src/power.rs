@@ -108,7 +108,11 @@ impl RegFilePowerModel {
         let size_energy = 0.75 + 0.25 * config.bank_size_factor.max(1.0).sqrt();
         let mrf_access_pj = BASE_ACCESS_PJ * tech.relative_access_energy() * size_energy;
         // DWM writes are more expensive than reads (shift + write).
-        let write_penalty = if tech == CellTechnology::Dwm { 1.4 } else { 1.0 };
+        let write_penalty = if tech == CellTechnology::Dwm {
+            1.4
+        } else {
+            1.0
+        };
         let mrf_capacity_kib = config.capacity_kib();
         let mrf_leakage_mw = mrf_capacity_kib * BASE_LEAKAGE_MW_PER_KB * tech.relative_leakage();
         // The RFC and WCB are small HP-SRAM structures.
@@ -212,7 +216,10 @@ mod tests {
             ratio < 0.85,
             "DWM + cache should clearly reduce power, got ratio {ratio}"
         );
-        assert!(ratio > 0.2, "reduction should not be implausibly large: {ratio}");
+        assert!(
+            ratio > 0.2,
+            "reduction should not be implausibly large: {ratio}"
+        );
     }
 
     #[test]

@@ -118,8 +118,14 @@ mod tests {
     fn denser_technologies_are_slower() {
         for &t in CellTechnology::all() {
             if t != CellTechnology::HpSram {
-                assert!(t.relative_cell_latency() > 1.0, "{t} should be slower than HP SRAM");
-                assert!(t.relative_leakage() < 1.0, "{t} should leak less than HP SRAM");
+                assert!(
+                    t.relative_cell_latency() > 1.0,
+                    "{t} should be slower than HP SRAM"
+                );
+                assert!(
+                    t.relative_leakage() < 1.0,
+                    "{t} should leak less than HP SRAM"
+                );
             }
         }
     }

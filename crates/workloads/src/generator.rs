@@ -52,7 +52,13 @@ pub struct WorkloadGenerator {
 
 /// Names handed out to generated workloads (cycled with a numeric suffix).
 static GENERATED_NAMES: &[&str] = &[
-    "gen-dense", "gen-sparse", "gen-tiled", "gen-reduce", "gen-scan", "gen-filter", "gen-sort",
+    "gen-dense",
+    "gen-sparse",
+    "gen-tiled",
+    "gen-reduce",
+    "gen-scan",
+    "gen-filter",
+    "gen-sort",
     "gen-fft",
 ];
 

@@ -8,9 +8,7 @@
 //! audit against the published character of the benchmarks it mimics and
 //! gives the random workload generator a single point of truth.
 
-use ltrf_isa::{
-    ArchReg, Kernel, KernelBuilder, LaunchConfig, Opcode, RegisterSensitivity,
-};
+use ltrf_isa::{ArchReg, Kernel, KernelBuilder, LaunchConfig, Opcode, RegisterSensitivity};
 use ltrf_sim::MemoryBehavior;
 use serde::{Deserialize, Serialize};
 
@@ -50,7 +48,11 @@ impl MemoryProfile {
 }
 
 /// Declarative description of a synthetic kernel.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+///
+/// Serialize-only: the `&'static str` name ties specs to the static suite
+/// catalogue (and the generator's name table), so specs are reconstructed
+/// from those sources rather than deserialized.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
 pub struct WorkloadSpec {
     /// Benchmark name (matches the paper's workload names).
     pub name: &'static str,
@@ -122,14 +124,21 @@ impl WorkloadSpec {
     /// counts); the suite and the generator never produce such specs.
     #[must_use]
     pub fn build(&self) -> Kernel {
-        assert!(self.regs_per_thread >= 8, "workloads need at least 8 registers");
+        assert!(
+            self.regs_per_thread >= 8,
+            "workloads need at least 8 registers"
+        );
         assert!(self.outer_trips >= 1 && self.inner_trips >= 1);
         let regs = self.regs_per_thread;
         let r = |i: u16| ArchReg::new((i % regs.min(256)) as u8);
 
         let mut b = KernelBuilder::new(self.name, regs);
         b.sensitivity(self.sensitivity);
-        b.launch(LaunchConfig::new(self.warps_per_block, self.blocks_per_grid, 0));
+        b.launch(LaunchConfig::new(
+            self.warps_per_block,
+            self.blocks_per_grid,
+            0,
+        ));
 
         let prologue = b.entry_block();
         let outer = b.add_block();
@@ -172,7 +181,11 @@ impl WorkloadSpec {
             let d = next_dest();
             let s1 = r(hi_base + (i as u16 % inner_slots));
             let s2 = r(i as u16 % 4);
-            let op = if i % 3 == 0 { Opcode::FFma } else { Opcode::FAlu };
+            let op = if i % 3 == 0 {
+                Opcode::FFma
+            } else {
+                Opcode::FAlu
+            };
             if op == Opcode::FFma {
                 b.push(inner, op, Some(r(d)), &[s1, s2, r(d)]);
             } else {
@@ -196,7 +209,8 @@ impl WorkloadSpec {
         b.push(epilogue, Opcode::StoreGlobal, None, &[r(1), r(2)]);
         b.exit(epilogue);
 
-        b.build().expect("workload specifications always build valid kernels")
+        b.build()
+            .expect("workload specifications always build valid kernels")
     }
 }
 
@@ -278,17 +292,26 @@ mod tests {
         let s = spec();
         let w = Workload::from_spec(s);
         let stats = trace_stats(&w.kernel, 3);
-        assert_eq!(stats.dynamic_instructions, s.dynamic_instructions_per_warp());
+        assert_eq!(
+            stats.dynamic_instructions,
+            s.dynamic_instructions_per_warp()
+        );
     }
 
     #[test]
     fn memory_profile_maps_to_behaviour() {
-        assert_eq!(MemoryProfile::Streaming.behavior(), MemoryBehavior::streaming());
+        assert_eq!(
+            MemoryProfile::Streaming.behavior(),
+            MemoryBehavior::streaming()
+        );
         assert_eq!(
             MemoryProfile::CacheResident.behavior(),
             MemoryBehavior::cache_resident()
         );
-        assert_eq!(MemoryProfile::Irregular.behavior(), MemoryBehavior::irregular());
+        assert_eq!(
+            MemoryProfile::Irregular.behavior(),
+            MemoryBehavior::irregular()
+        );
     }
 
     #[test]

@@ -268,7 +268,25 @@ pub fn evaluated_specs() -> Vec<WorkloadSpec> {
 /// register-insensitive workloads).
 #[must_use]
 pub fn evaluated_suite() -> Vec<Workload> {
-    evaluated_specs().into_iter().map(Workload::from_spec).collect()
+    evaluated_specs()
+        .into_iter()
+        .map(Workload::from_spec)
+        .collect()
+}
+
+/// The canonical four-workload quick subset (two register-sensitive, two
+/// insensitive) used by unit tests, the Criterion benches, and the `sweep`
+/// CLI's `--quick` mode. One copy, so every driver selects the same points
+/// (which also keeps their sweep-cache entries interchangeable).
+pub const QUICK_SUBSET: [&str; 4] = ["hotspot", "pathfinder", "btree", "histo"];
+
+/// Builds the quick four-workload subset ([`QUICK_SUBSET`]).
+#[must_use]
+pub fn quick_suite() -> Vec<Workload> {
+    evaluated_suite()
+        .into_iter()
+        .filter(|w| QUICK_SUBSET.contains(&w.name()))
+        .collect()
 }
 
 /// Builds only the register-sensitive workloads.
@@ -369,7 +387,7 @@ mod tests {
     fn screening_suite_has_35_register_demands() {
         let demands = unconstrained_register_demands();
         assert_eq!(demands.len(), 35);
-        assert!(demands.iter().all(|&d| d >= 8 && d <= 256));
+        assert!(demands.iter().all(|&d| (8..=256).contains(&d)));
     }
 
     #[test]

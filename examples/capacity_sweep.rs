@@ -17,7 +17,10 @@ fn main() {
         "workload: {} — IPC normalized to the baseline 256 KB SRAM register file\n",
         workload.name()
     );
-    println!("{:<8} {:>10} {:>10} {:>10} {:>10}", "config", "capacity", "latency", "BL", "LTRF");
+    println!(
+        "{:<8} {:>10} {:>10} {:>10} {:>10}",
+        "config", "capacity", "latency", "BL", "LTRF"
+    );
     for config in RegFileConfig::table2() {
         let bl = run_normalized(
             &workload.kernel,

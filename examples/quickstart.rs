@@ -16,7 +16,12 @@ fn main() {
         workload.kernel.static_instruction_count()
     );
 
-    for org in [Organization::Baseline, Organization::Rfc, Organization::Ltrf, Organization::LtrfPlus] {
+    for org in [
+        Organization::Baseline,
+        Organization::Rfc,
+        Organization::Ltrf,
+        Organization::LtrfPlus,
+    ] {
         let config = ExperimentConfig::for_table2(org, 7);
         let result = run_normalized(&workload.kernel, workload.memory(), 42, &config)
             .expect("simulation succeeds");

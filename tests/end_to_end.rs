@@ -2,9 +2,7 @@
 //! compilation → simulation → power accounting, for each register-file
 //! organization.
 
-use ltrf::core::{
-    run_experiment, run_normalized, ExperimentConfig, Organization,
-};
+use ltrf::core::{run_experiment, run_normalized, ExperimentConfig, Organization};
 use ltrf::sim::MemoryBehavior;
 use ltrf::workloads::{by_name, WorkloadGenerator};
 
@@ -35,7 +33,8 @@ fn every_organization_runs_every_small_workload() {
                 workload.name()
             );
             assert_eq!(
-                result.stats.warps_completed, result.stats.warps_resident,
+                result.stats.warps_completed,
+                result.stats.warps_resident,
                 "{org} on {} did not finish all warps",
                 workload.name()
             );

@@ -11,7 +11,9 @@ fn register_intervals_cover_every_suite_kernel_within_budget() {
     for workload in evaluated_suite() {
         let compiled = compile(&workload.kernel, &CompilerOptions::default())
             .unwrap_or_else(|e| panic!("{} failed to compile: {e}", workload.name()));
-        let violations = compiled.partition.invariant_violations(&compiled.kernel.cfg);
+        let violations = compiled
+            .partition
+            .invariant_violations(&compiled.kernel.cfg);
         assert!(
             violations.is_empty(),
             "{} has partition violations: {violations:?}",
@@ -112,5 +114,8 @@ fn liveness_annotation_marks_a_reasonable_fraction_of_operands_dead() {
         fraction > 0.05,
         "at least some operands should be last uses, got {fraction}"
     );
-    assert!(fraction < 0.95, "not every operand can be a last use: {fraction}");
+    assert!(
+        fraction < 0.95,
+        "not every operand can be a last use: {fraction}"
+    );
 }

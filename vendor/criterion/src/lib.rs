@@ -1,0 +1,135 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Provides the API shape the workspace's benches use — `Criterion`,
+//! `benchmark_group`, `sample_size`, `bench_function`, `Bencher::iter`, and
+//! the `criterion_group!`/`criterion_main!` macros — backed by a plain
+//! measure-and-print loop rather than criterion's statistical machinery.
+//! Good enough to smoke-test that the benches run and to eyeball relative
+//! timings; not a substitute for real confidence intervals.
+
+#![forbid(unsafe_code)]
+
+use std::time::{Duration, Instant};
+
+/// Benchmark driver.
+#[derive(Debug)]
+pub struct Criterion {
+    default_sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            default_sample_size: 10,
+        }
+    }
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("group: {name}");
+        BenchmarkGroup {
+            _criterion: self,
+            sample_size: None,
+        }
+    }
+
+    /// Registers a standalone benchmark.
+    pub fn bench_function<F>(&mut self, name: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(name.into(), self.default_sample_size, f);
+        self
+    }
+}
+
+/// A named group of benchmarks sharing settings.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    sample_size: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n);
+        self
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function<F>(&mut self, name: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let samples = self.sample_size.unwrap_or(10);
+        run_one(name.into(), samples, f);
+        self
+    }
+
+    /// Ends the group (printing nothing extra; kept for API fidelity).
+    pub fn finish(self) {}
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(name: String, samples: usize, mut f: F) {
+    let mut bencher = Bencher {
+        samples: samples.max(1),
+        total: Duration::ZERO,
+        iterations: 0,
+    };
+    f(&mut bencher);
+    let mean = if bencher.iterations > 0 {
+        bencher.total / u32::try_from(bencher.iterations).unwrap_or(u32::MAX)
+    } else {
+        Duration::ZERO
+    };
+    println!(
+        "  {name}: {mean:?}/iter over {} iterations",
+        bencher.iterations
+    );
+}
+
+/// Passed to the benchmark closure; times the routine under test.
+#[derive(Debug)]
+pub struct Bencher {
+    samples: usize,
+    total: Duration,
+    iterations: u64,
+}
+
+impl Bencher {
+    /// Times `routine`, running it once per sample.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            let out = routine();
+            self.total += start.elapsed();
+            self.iterations += 1;
+            std::hint::black_box(out);
+        }
+    }
+}
+
+/// Collects benchmark functions into a runner function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Emits `fn main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

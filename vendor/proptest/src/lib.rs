@@ -1,0 +1,131 @@
+//! Offline stand-in for `proptest`.
+//!
+//! Supports the subset this workspace's property tests use: `proptest!` with
+//! an optional `#![proptest_config(...)]`, `any::<T>()` for primitives,
+//! integer-range strategies, tuple strategies, `prop_map`, `prop_oneof!`,
+//! `collection::vec`, and the `prop_assert*` macros.
+//!
+//! Differences from the real crate: inputs are generated from a fixed
+//! deterministic seed derived from the test name (so failures reproduce), no
+//! shrinking is performed, and `prop_assert*` panic immediately (which the
+//! default test harness reports like any assertion failure).
+
+#![forbid(unsafe_code)]
+
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+/// The glob import every property test starts with.
+pub mod prelude {
+    pub use crate::strategy::{any, Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Asserts a condition inside a property test.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)*) => { assert!($cond, $($fmt)*) };
+}
+
+/// Asserts equality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => { assert_eq!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)*) => { assert_eq!($a, $b, $($fmt)*) };
+}
+
+/// Asserts inequality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => { assert_ne!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)*) => { assert_ne!($a, $b, $($fmt)*) };
+}
+
+/// Picks uniformly from several strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(::std::vec::Vec::from([
+            $($crate::strategy::Strategy::boxed($strategy)),+
+        ]))
+    };
+}
+
+/// Defines property tests: each `fn name(arg in strategy, ...) { body }`
+/// becomes a `#[test]` that runs `body` over `config.cases` generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns! { ($config) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns! { ($crate::test_runner::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+/// Internal muncher for [`proptest!`]; not part of the public API.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    (($config:expr)) => {};
+    (($config:expr)
+     $(#[$meta:meta])*
+     fn $name:ident($($arg:pat_param in $strategy:expr),+ $(,)?) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __config = $config;
+            let mut __rng = $crate::test_runner::rng_for_test(stringify!($name));
+            for __case in 0..__config.cases {
+                $(let $arg = $crate::strategy::Strategy::generate(&($strategy), &mut __rng);)+
+                $body
+            }
+        }
+        $crate::__proptest_fns! { ($config) $($rest)* }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        /// Inputs respect their range strategies.
+        #[test]
+        fn ranges_hold(x in 3u8..9, y in 10usize..=20, (a, b) in (0u32..5, 1i32..4)) {
+            prop_assert!((3..9).contains(&x));
+            prop_assert!((10..=20).contains(&y));
+            prop_assert!(a < 5);
+            prop_assert!((1..4).contains(&b));
+        }
+
+        /// Mapped and boxed strategies compose.
+        #[test]
+        fn combinators_compose(v in crate::collection::vec(any::<u8>().prop_map(u32::from), 0..16)) {
+            prop_assert!(v.len() < 16);
+            prop_assert!(v.iter().all(|&x| x < 256));
+        }
+
+        /// Union picks only from its arms.
+        #[test]
+        fn oneof_picks_arms(x in prop_oneof![0u32..1, 10u32..11, 20u32..21]) {
+            prop_assert!(x == 0 || x == 10 || x == 20);
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let strategy = (0u64..1000, 0u64..1000);
+        let mut a = crate::test_runner::rng_for_test("det");
+        let mut b = crate::test_runner::rng_for_test("det");
+        for _ in 0..50 {
+            assert_eq!(strategy.generate(&mut a), strategy.generate(&mut b));
+        }
+    }
+}

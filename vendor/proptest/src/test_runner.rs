@@ -1,0 +1,40 @@
+//! Test configuration and the deterministic per-test random source.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Configuration accepted via `#![proptest_config(...)]`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ProptestConfig {
+    /// Number of generated input cases per test.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` inputs per test.
+    #[must_use]
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        // The real crate defaults to 256; 64 keeps simulator-heavy property
+        // tests fast while still exercising a meaningful input space.
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// Deterministic generator for a named test: the same test always sees the
+/// same input sequence, so failures reproduce without a persistence file.
+#[must_use]
+pub fn rng_for_test(name: &str) -> StdRng {
+    // FNV-1a over the test name.
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for byte in name.bytes() {
+        hash ^= u64::from(byte);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    StdRng::seed_from_u64(hash)
+}

@@ -1,0 +1,115 @@
+//! The owned value tree both traits go through.
+
+use crate::Error;
+
+/// A self-describing value: the intermediate form between Rust types and
+/// JSON text.
+///
+/// Objects preserve insertion order (a `Vec` of pairs, not a map), which
+/// keeps the JSON encoding canonical: serializing the same Rust value twice
+/// yields byte-identical text.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON `null`.
+    Null,
+    /// A boolean.
+    Bool(bool),
+    /// A signed integer.
+    Int(i64),
+    /// An unsigned integer.
+    UInt(u64),
+    /// A double-precision float.
+    Float(f64),
+    /// A string.
+    Str(String),
+    /// An ordered sequence.
+    Array(Vec<Value>),
+    /// An ordered set of key/value pairs.
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// The value as an `u64`, if it is a non-negative integer.
+    #[must_use]
+    pub fn as_u64(&self) -> Option<u64> {
+        match *self {
+            Value::UInt(u) => Some(u),
+            Value::Int(i) => u64::try_from(i).ok(),
+            _ => None,
+        }
+    }
+
+    /// The value as an `i64`, if it is an integer in range.
+    #[must_use]
+    pub fn as_i64(&self) -> Option<i64> {
+        match *self {
+            Value::Int(i) => Some(i),
+            Value::UInt(u) => i64::try_from(u).ok(),
+            _ => None,
+        }
+    }
+
+    /// The value as an `f64`: floats directly, integers widened.
+    #[must_use]
+    pub fn as_f64(&self) -> Option<f64> {
+        match *self {
+            Value::Float(f) => Some(f),
+            Value::Int(i) => Some(i as f64),
+            Value::UInt(u) => Some(u as f64),
+            _ => None,
+        }
+    }
+
+    /// The value's string contents, if it is a string.
+    #[must_use]
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value's elements, if it is an array.
+    #[must_use]
+    pub fn as_array(&self) -> Option<&[Value]> {
+        match self {
+            Value::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The value's pairs, if it is an object.
+    #[must_use]
+    pub fn as_object(&self) -> Option<&[(String, Value)]> {
+        match self {
+            Value::Object(pairs) => Some(pairs),
+            _ => None,
+        }
+    }
+
+    /// Looks up a key in an object value.
+    #[must_use]
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.as_object()?
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v)
+    }
+
+    /// Renders the value as canonical JSON text.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        crate::json::write_value(self, &mut out);
+        out
+    }
+
+    /// Parses JSON text into a value.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on malformed input.
+    pub fn parse_json(text: &str) -> Result<Value, Error> {
+        crate::json::parse(text)
+    }
+}

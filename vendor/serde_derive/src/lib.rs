@@ -1,0 +1,419 @@
+//! Derive macros for the vendored serde stand-in.
+//!
+//! The offline build environment has neither `syn` nor `quote`, so the input
+//! item is parsed directly from the `proc_macro` token stream and the impl is
+//! emitted as a string. The supported shapes are exactly what the workspace
+//! derives on: non-generic structs (named, tuple/newtype, unit) and
+//! non-generic enums whose variants are unit, tuple, or struct-like.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derives `serde::Serialize` (value-tree flavour).
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    generate_serialize(&item)
+        .parse()
+        .expect("generated impl parses")
+}
+
+/// Derives `serde::Deserialize` (value-tree flavour).
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    generate_deserialize(&item)
+        .parse()
+        .expect("generated impl parses")
+}
+
+// ---------------------------------------------------------------------------
+// Input parsing
+// ---------------------------------------------------------------------------
+
+enum Fields {
+    Unit,
+    /// Named fields, in declaration order.
+    Named(Vec<String>),
+    /// Tuple fields (the count).
+    Tuple(usize),
+}
+
+struct Variant {
+    name: String,
+    fields: Fields,
+}
+
+enum Item {
+    Struct {
+        name: String,
+        fields: Fields,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    skip_attrs_and_vis(&tokens, &mut i);
+    let kind = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("serde_derive: expected `struct` or `enum`, got `{other}`"),
+    };
+    i += 1;
+    let name = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("serde_derive: expected type name, got `{other}`"),
+    };
+    i += 1;
+    if matches!(&tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!(
+            "serde_derive (vendored): generic types are not supported; derive on `{name}` by hand"
+        );
+    }
+    match kind.as_str() {
+        "struct" => {
+            let fields = match tokens.get(i) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    Fields::Named(parse_named_fields(g.stream()))
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    Fields::Tuple(count_tuple_fields(g.stream()))
+                }
+                _ => Fields::Unit,
+            };
+            Item::Struct { name, fields }
+        }
+        "enum" => {
+            let body = match tokens.get(i) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+                _ => panic!("serde_derive: malformed enum `{name}`"),
+            };
+            Item::Enum {
+                name,
+                variants: parse_variants(body),
+            }
+        }
+        other => panic!("serde_derive: cannot derive for `{other} {name}`"),
+    }
+}
+
+/// Advances past leading `#[...]` attributes and a `pub`/`pub(...)`
+/// visibility.
+fn skip_attrs_and_vis(tokens: &[TokenTree], i: &mut usize) {
+    loop {
+        match tokens.get(*i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                *i += 1; // `#`
+                if matches!(tokens.get(*i), Some(TokenTree::Group(_))) {
+                    *i += 1; // `[...]`
+                }
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                *i += 1;
+                if matches!(
+                    tokens.get(*i),
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis
+                ) {
+                    *i += 1; // `(crate)` etc.
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+/// Splits a group's stream at top-level commas (nested groups are opaque
+/// token trees, so no depth tracking is needed).
+fn split_commas(stream: TokenStream) -> Vec<Vec<TokenTree>> {
+    let mut chunks = vec![Vec::new()];
+    for tt in stream {
+        match &tt {
+            TokenTree::Punct(p) if p.as_char() == ',' => chunks.push(Vec::new()),
+            _ => chunks.last_mut().expect("non-empty").push(tt),
+        }
+    }
+    chunks.retain(|c| !c.is_empty());
+    chunks
+}
+
+/// Extracts field names from a `{ ... }` struct body: in each
+/// comma-separated chunk, the identifier immediately before the first `:`.
+fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+    split_commas(stream)
+        .into_iter()
+        .map(|chunk| {
+            let mut i = 0;
+            skip_attrs_and_vis(&chunk, &mut i);
+            match chunk.get(i) {
+                Some(TokenTree::Ident(id)) => id.to_string(),
+                other => panic!("serde_derive: expected field name, got `{other:?}`"),
+            }
+        })
+        .collect()
+}
+
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    split_commas(stream).len()
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    split_commas(stream)
+        .into_iter()
+        .map(|chunk| {
+            let mut i = 0;
+            skip_attrs_and_vis(&chunk, &mut i);
+            let name = match chunk.get(i) {
+                Some(TokenTree::Ident(id)) => id.to_string(),
+                other => panic!("serde_derive: expected variant name, got `{other:?}`"),
+            };
+            i += 1;
+            let fields = match chunk.get(i) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    Fields::Named(parse_named_fields(g.stream()))
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    Fields::Tuple(count_tuple_fields(g.stream()))
+                }
+                None => Fields::Unit,
+                Some(other) => {
+                    panic!("serde_derive: unsupported tokens after variant `{name}`: `{other}`")
+                }
+            };
+            Variant { name, fields }
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------------------
+// Code generation
+// ---------------------------------------------------------------------------
+
+/// `vec![a, b]` without relying on macros being nameable from generated
+/// code: `::std::vec::Vec::from([a, b])`.
+fn vec_from(items: &[String]) -> String {
+    if items.is_empty() {
+        "::std::vec::Vec::new()".to_string()
+    } else {
+        format!("::std::vec::Vec::from([{}])", items.join(", "))
+    }
+}
+
+fn object_pairs(pairs: &[(String, String)]) -> String {
+    let items: Vec<String> = pairs
+        .iter()
+        .map(|(key, expr)| format!("(::std::string::String::from(\"{key}\"), {expr})"))
+        .collect();
+    format!("::serde::Value::Object({})", vec_from(&items))
+}
+
+fn generate_serialize(item: &Item) -> String {
+    let (name, body) = match item {
+        Item::Struct { name, fields } => {
+            let body = match fields {
+                Fields::Unit => "::serde::Value::Null".to_string(),
+                Fields::Named(fields) => object_pairs(
+                    &fields
+                        .iter()
+                        .map(|f| {
+                            (
+                                f.clone(),
+                                format!("::serde::Serialize::to_value(&self.{f})"),
+                            )
+                        })
+                        .collect::<Vec<_>>(),
+                ),
+                Fields::Tuple(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+                Fields::Tuple(n) => {
+                    let items: Vec<String> = (0..*n)
+                        .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                        .collect();
+                    format!("::serde::Value::Array({})", vec_from(&items))
+                }
+            };
+            (name, body)
+        }
+        Item::Enum { name, variants } => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| {
+                    let vname = &v.name;
+                    match &v.fields {
+                        Fields::Unit => format!(
+                            "{name}::{vname} => ::serde::Value::Str(::std::string::String::from(\"{vname}\")),"
+                        ),
+                        Fields::Tuple(1) => format!(
+                            "{name}::{vname}(__f0) => {},",
+                            object_pairs(&[(
+                                vname.clone(),
+                                "::serde::Serialize::to_value(__f0)".to_string()
+                            )])
+                        ),
+                        Fields::Tuple(n) => {
+                            let binders: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+                            let items: Vec<String> = binders
+                                .iter()
+                                .map(|b| format!("::serde::Serialize::to_value({b})"))
+                                .collect();
+                            format!(
+                                "{name}::{vname}({}) => {},",
+                                binders.join(", "),
+                                object_pairs(&[(
+                                    vname.clone(),
+                                    format!("::serde::Value::Array({})", vec_from(&items))
+                                )])
+                            )
+                        }
+                        Fields::Named(fields) => {
+                            let inner = object_pairs(
+                                &fields
+                                    .iter()
+                                    .map(|f| {
+                                        (f.clone(), format!("::serde::Serialize::to_value({f})"))
+                                    })
+                                    .collect::<Vec<_>>(),
+                            );
+                            format!(
+                                "{name}::{vname} {{ {} }} => {},",
+                                fields.join(", "),
+                                object_pairs(&[(vname.clone(), inner)])
+                            )
+                        }
+                    }
+                })
+                .collect();
+            (name, format!("match self {{ {} }}", arms.join("\n")))
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         #[allow(unused_variables, clippy::all)]\n\
+         impl ::serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> ::serde::Value {{ {body} }}\n\
+         }}"
+    )
+}
+
+fn named_fields_constructor(
+    type_and_variant: &str,
+    fields: &[String],
+    obj_binding: &str,
+) -> String {
+    let inits: Vec<String> = fields
+        .iter()
+        .map(|f| {
+            format!(
+                "{f}: ::serde::Deserialize::from_value(::serde::get_field({obj_binding}, \"{f}\")?)?,"
+            )
+        })
+        .collect();
+    format!("{type_and_variant} {{ {} }}", inits.join("\n"))
+}
+
+fn tuple_constructor(type_and_variant: &str, n: usize, arr_binding: &str) -> String {
+    let inits: Vec<String> = (0..n)
+        .map(|i| format!("::serde::Deserialize::from_value(&{arr_binding}[{i}])?"))
+        .collect();
+    format!("{type_and_variant}({})", inits.join(", "))
+}
+
+fn generate_deserialize(item: &Item) -> String {
+    let (name, body) = match item {
+        Item::Struct { name, fields } => {
+            let body = match fields {
+                Fields::Unit => format!("::std::result::Result::Ok({name})"),
+                Fields::Named(fields) => format!(
+                    "let __obj = __v.as_object().ok_or_else(|| \
+                         ::serde::Error::custom(\"{name}: expected object\"))?;\n\
+                     ::std::result::Result::Ok({})",
+                    named_fields_constructor(name, fields, "__obj")
+                ),
+                Fields::Tuple(1) => format!(
+                    "::std::result::Result::Ok({name}(::serde::Deserialize::from_value(__v)?))"
+                ),
+                Fields::Tuple(n) => format!(
+                    "let __arr = __v.as_array().ok_or_else(|| \
+                         ::serde::Error::custom(\"{name}: expected array\"))?;\n\
+                     if __arr.len() != {n} {{\n\
+                         return ::std::result::Result::Err(::serde::Error::custom(\
+                             \"{name}: expected array of length {n}\"));\n\
+                     }}\n\
+                     ::std::result::Result::Ok({})",
+                    tuple_constructor(name, *n, "__arr")
+                ),
+            };
+            (name, body)
+        }
+        Item::Enum { name, variants } => {
+            let mut unit_arms = Vec::new();
+            let mut tagged_arms = Vec::new();
+            for v in variants {
+                let vname = &v.name;
+                let path = format!("{name}::{vname}");
+                match &v.fields {
+                    Fields::Unit => {
+                        unit_arms.push(format!("\"{vname}\" => ::std::result::Result::Ok({path}),"))
+                    }
+                    Fields::Tuple(1) => tagged_arms.push(format!(
+                        "\"{vname}\" => ::std::result::Result::Ok({path}(\
+                             ::serde::Deserialize::from_value(__content)?)),"
+                    )),
+                    Fields::Tuple(n) => tagged_arms.push(format!(
+                        "\"{vname}\" => {{\n\
+                             let __arr = __content.as_array().ok_or_else(|| \
+                                 ::serde::Error::custom(\"{path}: expected array\"))?;\n\
+                             if __arr.len() != {n} {{\n\
+                                 return ::std::result::Result::Err(::serde::Error::custom(\
+                                     \"{path}: expected array of length {n}\"));\n\
+                             }}\n\
+                             ::std::result::Result::Ok({})\n\
+                         }}",
+                        tuple_constructor(&path, *n, "__arr")
+                    )),
+                    Fields::Named(fields) => tagged_arms.push(format!(
+                        "\"{vname}\" => {{\n\
+                             let __obj = __content.as_object().ok_or_else(|| \
+                                 ::serde::Error::custom(\"{path}: expected object\"))?;\n\
+                             ::std::result::Result::Ok({})\n\
+                         }}",
+                        named_fields_constructor(&path, fields, "__obj")
+                    )),
+                }
+            }
+            let body = format!(
+                "if let ::serde::Value::Str(__s) = __v {{\n\
+                     return match __s.as_str() {{\n\
+                         {unit}\n\
+                         __other => ::std::result::Result::Err(::serde::Error::custom(\
+                             format!(\"{name}: unknown variant `{{__other}}`\"))),\n\
+                     }};\n\
+                 }}\n\
+                 if let ::std::option::Option::Some(__pairs) = __v.as_object() {{\n\
+                     if __pairs.len() == 1 {{\n\
+                         let (__tag, __content) = &__pairs[0];\n\
+                         return match __tag.as_str() {{\n\
+                             {tagged}\n\
+                             __other => ::std::result::Result::Err(::serde::Error::custom(\
+                                 format!(\"{name}: unknown variant `{{__other}}`\"))),\n\
+                         }};\n\
+                     }}\n\
+                 }}\n\
+                 ::std::result::Result::Err(::serde::Error::custom(\"{name}: bad enum encoding\"))",
+                unit = unit_arms.join("\n"),
+                tagged = tagged_arms.join("\n"),
+            );
+            (name, body)
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         #[allow(unused_variables, clippy::all)]\n\
+         impl ::serde::Deserialize for {name} {{\n\
+             fn from_value(__v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                 {body}\n\
+             }}\n\
+         }}"
+    )
+}
