@@ -3,8 +3,10 @@
 use ltrf_bench::table3;
 
 fn main() {
-    let c = table3();
+    let gpu = table3();
+    let c = gpu.sm;
     println!("Table 3: simulated system configuration\n");
+    println!("Streaming multiprocessors   {}", gpu.sm_count);
     println!("Core clock                  {} MHz", c.core_clock_mhz);
     println!(
         "Scheduler                   Two-level ({} active warps)",
@@ -24,16 +26,17 @@ fn main() {
         c.shared_mem_bytes / 1024
     );
     println!(
-        "L1D cache                   {}-way, {} KB, {} B lines",
+        "L1D cache                   {}-way, {} KB, {} B lines (per SM)",
         c.memory.l1d_ways,
         c.memory.l1d_bytes / 1024,
         c.memory.line_bytes
     );
     println!(
-        "LLC                         {}-way, {} MB, {} B lines",
+        "Shared L2                   {}-way, {} MB, {} slices at {} cycles/request",
         c.memory.llc_ways,
         c.memory.llc_bytes / (1024 * 1024),
-        c.memory.line_bytes
+        gpu.l2.slices,
+        gpu.l2.service_cycles
     );
     println!(
         "Memory model                {} GDDR5-like channels, FR-FCFS row-hit {} / row-miss {} cycles",

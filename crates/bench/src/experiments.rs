@@ -17,8 +17,8 @@ use ltrf_core::{
 use ltrf_isa::RegisterSensitivity;
 use ltrf_sim::GpuConfig;
 use ltrf_sweep::{
-    run_sweep, ExecutorOptions, MemorySelection, PointData, SeedMode, SweepResults, SweepSpec,
-    SweepSpecBuilder,
+    run_sweep, ExecutorOptions, MemorySelection, PointData, PointMeans, SeedMode, SweepResults,
+    SweepSpec, SweepSpecBuilder,
 };
 use ltrf_tech::configs::RegFileConfig;
 use ltrf_tech::generations::{figure2_generations, GpuGeneration};
@@ -124,7 +124,7 @@ impl ResultIndex {
                         record.point.memory,
                         record.point.config.cache_key_material(),
                     ),
-                    *data,
+                    data.clone(),
                 )
             })
             .collect();
@@ -189,7 +189,8 @@ pub fn table2() -> Vec<(RegFileConfig, ltrf_tech::bank::BankEstimate)> {
 // Table 3 — simulated system configuration
 // ---------------------------------------------------------------------------
 
-/// Returns the simulated system configuration (the reproduction of Table 3).
+/// Returns the simulated system configuration (the reproduction of Table 3):
+/// the whole GPU — SM count, the per-SM pipeline, and the shared L2/DRAM.
 #[must_use]
 pub fn table3() -> GpuConfig {
     GpuConfig::default()
@@ -718,9 +719,93 @@ pub fn sensitivity_of(workload: &Workload) -> RegisterSensitivity {
     }
 }
 
+// ---------------------------------------------------------------------------
+// GPU scaling — multi-SM campaigns over the shared L2/DRAM
+// ---------------------------------------------------------------------------
+
+/// One (SM count, organization) cell of the GPU-scaling study.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct GpuScaleRow {
+    /// Number of SMs simulated.
+    pub sm_count: usize,
+    /// The organization under test.
+    pub organization: Organization,
+    /// Mean whole-GPU IPC over the selected workloads.
+    pub mean_ipc: f64,
+    /// Mean IPC per SM (scaling efficiency: flat = perfect weak scaling,
+    /// decaying = shared-memory contention).
+    pub mean_ipc_per_sm: f64,
+    /// Mean IPC normalized to the baseline at the same SM count.
+    pub mean_normalized_ipc: f64,
+    /// Mean shared-L2 hit rate.
+    pub mean_l2_hit_rate: f64,
+    /// Mean DRAM row-buffer hit rate.
+    pub mean_dram_row_hit_rate: f64,
+}
+
+/// Runs the GPU-scaling study: baseline and LTRF on configuration #6 at each
+/// SM count, grids weak-scaled, all SMs contending for the shared L2 and
+/// DRAM. The same campaign as the `sweep gpu-scale` subcommand, exposed to
+/// the harness and its tests.
+#[must_use]
+pub fn gpu_scale(selection: SuiteSelection, sm_counts: &[usize]) -> Vec<GpuScaleRow> {
+    let workloads = suite(selection);
+    let spec = figure_sweep("gpu-scale", &workloads)
+        .organizations([Organization::Baseline, Organization::Ltrf])
+        .config_ids([6])
+        .sm_counts(sm_counts.iter().copied())
+        .normalize(true)
+        .build();
+    let results = run_figure_spec(&spec);
+    // The shared engine-side pivot (also behind the `sweep gpu-scale`
+    // summary table, so the two cannot drift).
+    PointMeans::grouped(
+        &results,
+        sm_counts,
+        &[Organization::Baseline, Organization::Ltrf],
+    )
+    .into_iter()
+    .map(|(sm_count, organization, means)| GpuScaleRow {
+        sm_count,
+        organization,
+        mean_ipc: means.ipc,
+        mean_ipc_per_sm: means.ipc / sm_count.max(1) as f64,
+        mean_normalized_ipc: means.normalized_ipc,
+        mean_l2_hit_rate: means.l2_hit_rate,
+        mean_dram_row_hit_rate: means.dram_row_hit_rate,
+    })
+    .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn gpu_scale_reports_every_cell() {
+        let rows = gpu_scale(SuiteSelection::Quick, &[1, 2]);
+        assert_eq!(rows.len(), 4, "2 SM counts x BL/LTRF");
+        for row in &rows {
+            assert!(row.mean_ipc > 0.0, "{row:?}");
+            assert!(row.mean_normalized_ipc > 0.0, "{row:?}");
+            assert!((0.0..=1.0).contains(&row.mean_l2_hit_rate));
+            assert!((0.0..=1.0).contains(&row.mean_dram_row_hit_rate));
+        }
+        let two_sm_ltrf = rows
+            .iter()
+            .find(|r| r.sm_count == 2 && r.organization == Organization::Ltrf)
+            .unwrap();
+        let one_sm_ltrf = rows
+            .iter()
+            .find(|r| r.sm_count == 1 && r.organization == Organization::Ltrf)
+            .unwrap();
+        assert!(
+            two_sm_ltrf.mean_ipc > one_sm_ltrf.mean_ipc,
+            "two SMs execute more work per cycle than one: {} vs {}",
+            two_sm_ltrf.mean_ipc,
+            one_sm_ltrf.mean_ipc
+        );
+    }
 
     #[test]
     fn quick_suite_is_a_strict_subset() {
@@ -747,7 +832,8 @@ mod tests {
     fn table2_and_figure2_are_static_data() {
         assert_eq!(table2().len(), 7);
         assert_eq!(figure2().len(), 4);
-        assert_eq!(table3().max_warps, 64);
+        assert_eq!(table3().sm.max_warps, 64);
+        assert_eq!(table3().sm_count, 16);
     }
 
     #[test]

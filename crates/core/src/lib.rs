@@ -63,12 +63,12 @@ pub use latency_tolerance::{
 };
 pub use occupancy::{capacity_requirement, CapacityRequirement, GpuArchitecture};
 pub use organizations::{
-    build_organization, BuiltOrganization, LtrfParams, LtrfRegisterFile, Organization,
-    RfcRegisterFile, ShrfRegisterFile,
+    build_organization, build_organization_fleet, BuiltOrganization, LtrfParams, LtrfRegisterFile,
+    Organization, RfcRegisterFile, ShrfRegisterFile,
 };
 pub use overheads::{overhead_report, OverheadInputs, OverheadReport};
 pub use runner::{
-    run_baseline_reference, run_experiment, run_normalized, ExperimentConfig, NormalizedResult,
-    RunResult,
+    run_baseline_reference, run_baseline_reference_at, run_experiment, run_normalized,
+    ExperimentConfig, NormalizedResult, RunResult,
 };
 pub use wcb::{WarpControlBlock, WcbStorageCost};

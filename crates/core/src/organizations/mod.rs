@@ -142,66 +142,97 @@ pub fn build_organization(
     params: LtrfParams,
     rfc_entries_per_warp: usize,
 ) -> Result<BuiltOrganization, CoreError> {
-    let built = match organization {
-        Organization::Baseline => BuiltOrganization {
-            kernel: kernel.clone(),
-            model: Box::new(DirectRegisterFile::new(timing)),
-        },
-        Organization::Ideal => BuiltOrganization {
-            kernel: kernel.clone(),
-            model: Box::new(IdealRegisterFile::new(timing)),
-        },
-        Organization::Rfc => BuiltOrganization {
-            kernel: kernel.clone(),
-            model: Box::new(RfcRegisterFile::new(timing, rfc_entries_per_warp)),
-        },
-        Organization::Shrf => {
+    let (kernel, mut models) = build_organization_fleet(
+        organization,
+        kernel,
+        timing,
+        params,
+        rfc_entries_per_warp,
+        1,
+    )?;
+    Ok(BuiltOrganization {
+        kernel,
+        model: models.pop().expect("fleet of one"),
+    })
+}
+
+/// Like [`build_organization`], but produces `count` independent model
+/// instances over a *single* compilation. Multi-SM simulations need one
+/// model per SM; compiling the identical kernel once per SM would repeat
+/// the same deterministic work `count` times.
+///
+/// Returns the kernel the simulator must execute (compiled when the
+/// organization needs it) and the models, all equivalent and fresh.
+///
+/// # Errors
+///
+/// Propagates compiler errors exactly like [`build_organization`].
+#[allow(clippy::type_complexity)]
+pub fn build_organization_fleet(
+    organization: Organization,
+    kernel: &Kernel,
+    timing: RegFileTiming,
+    params: LtrfParams,
+    rfc_entries_per_warp: usize,
+    count: usize,
+) -> Result<(Kernel, Vec<Box<dyn RegisterFileModel>>), CoreError> {
+    let count = count.max(1);
+    // Compile once for the organizations that need it.
+    let compiled = match organization {
+        Organization::Shrf | Organization::LtrfStrand => {
             let options = CompilerOptions {
                 max_registers_per_interval: params.registers_per_interval,
                 subgraph_kind: PrefetchSubgraphKind::Strand,
                 reduce_intervals: false,
                 annotate_liveness: true,
             };
-            let compiled = compile(kernel, &options)?;
-            BuiltOrganization {
-                kernel: compiled.kernel.clone(),
-                model: Box::new(ShrfRegisterFile::new(compiled, timing)),
-            }
+            Some(compile(kernel, &options)?)
         }
         Organization::Ltrf | Organization::LtrfPlus => {
             let options =
                 CompilerOptions::default().with_max_registers(params.registers_per_interval);
-            let compiled = compile(kernel, &options)?;
-            let p = LtrfParams {
-                liveness_aware: organization == Organization::LtrfPlus,
-                ..params
-            };
-            BuiltOrganization {
-                kernel: compiled.kernel.clone(),
-                model: Box::new(LtrfRegisterFile::new(compiled, timing, p)),
-            }
+            Some(compile(kernel, &options)?)
         }
-        Organization::LtrfStrand => {
-            let options = CompilerOptions {
-                max_registers_per_interval: params.registers_per_interval,
-                subgraph_kind: PrefetchSubgraphKind::Strand,
-                reduce_intervals: false,
-                annotate_liveness: true,
-            };
-            let compiled = compile(kernel, &options)?;
-            let p = LtrfParams {
-                liveness_aware: false,
-                ..params
-            };
-            BuiltOrganization {
-                kernel: compiled.kernel.clone(),
-                model: Box::new(
-                    LtrfRegisterFile::new(compiled, timing, p).with_name("LTRF (strand)"),
-                ),
-            }
-        }
+        Organization::Baseline | Organization::Ideal | Organization::Rfc => None,
     };
-    Ok(built)
+    let executed_kernel = compiled
+        .as_ref()
+        .map_or_else(|| kernel.clone(), |c| c.kernel.clone());
+    let mut models: Vec<Box<dyn RegisterFileModel>> = Vec::with_capacity(count);
+    for _ in 0..count {
+        let model: Box<dyn RegisterFileModel> = match organization {
+            Organization::Baseline => Box::new(DirectRegisterFile::new(timing)),
+            Organization::Ideal => Box::new(IdealRegisterFile::new(timing)),
+            Organization::Rfc => Box::new(RfcRegisterFile::new(timing, rfc_entries_per_warp)),
+            Organization::Shrf => Box::new(ShrfRegisterFile::new(
+                compiled.clone().expect("SHRF compiles"),
+                timing,
+            )),
+            Organization::Ltrf | Organization::LtrfPlus => {
+                let p = LtrfParams {
+                    liveness_aware: organization == Organization::LtrfPlus,
+                    ..params
+                };
+                Box::new(LtrfRegisterFile::new(
+                    compiled.clone().expect("LTRF compiles"),
+                    timing,
+                    p,
+                ))
+            }
+            Organization::LtrfStrand => {
+                let p = LtrfParams {
+                    liveness_aware: false,
+                    ..params
+                };
+                Box::new(
+                    LtrfRegisterFile::new(compiled.clone().expect("strands compile"), timing, p)
+                        .with_name("LTRF (strand)"),
+                )
+            }
+        };
+        models.push(model);
+    }
+    Ok((executed_kernel, models))
 }
 
 #[cfg(test)]

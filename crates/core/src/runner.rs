@@ -4,10 +4,14 @@
 use serde::{Deserialize, Serialize};
 
 use ltrf_isa::Kernel;
-use ltrf_sim::{simulate, GpuConfig, MemoryBehavior, SimStats, SimWorkload};
+use ltrf_sim::{
+    simulate, simulate_gpu, GpuConfig, GpuStats, MemoryBehavior, SimStats, SimWorkload, SmConfig,
+};
 use ltrf_tech::{PowerBreakdown, RegFileConfig, RegFilePowerModel};
 
-use crate::organizations::{build_organization, LtrfParams, Organization};
+use crate::organizations::{
+    build_organization, build_organization_fleet, LtrfParams, Organization,
+};
 use crate::CoreError;
 
 /// Everything needed to run one kernel under one register-file design.
@@ -28,6 +32,10 @@ pub struct ExperimentConfig {
     /// RFC capacity in registers per warp (default 16, i.e. a 16 KB cache
     /// shared by 8 warps).
     pub rfc_entries_per_warp: usize,
+    /// Number of SMs to simulate (default 1, the historical single-SM
+    /// configuration). With more than one SM the kernel's grid is weak-scaled
+    /// by the SM count and the SMs contend for a shared L2 and DRAM.
+    pub sm_count: usize,
 }
 
 impl ExperimentConfig {
@@ -41,6 +49,7 @@ impl ExperimentConfig {
             registers_per_interval: 16,
             active_warps: 8,
             rfc_entries_per_warp: 16,
+            sm_count: 1,
         }
     }
 
@@ -78,6 +87,13 @@ impl ExperimentConfig {
         self
     }
 
+    /// Sets the number of SMs (the multi-SM / GPU-scale sweep axis).
+    #[must_use]
+    pub fn with_sm_count(mut self, sm_count: usize) -> Self {
+        self.sm_count = sm_count.max(1);
+        self
+    }
+
     /// The effective main-register-file latency factor of this experiment.
     #[must_use]
     pub fn latency_factor(&self) -> f64 {
@@ -105,40 +121,60 @@ impl ExperimentConfig {
         self.cache_key_value().to_json()
     }
 
-    /// Builds the simulator configuration for this experiment.
+    /// Builds the per-SM simulator configuration for this experiment.
     #[must_use]
-    pub fn gpu_config(&self) -> GpuConfig {
-        let mut gpu = GpuConfig::default()
+    pub fn sm_config(&self) -> SmConfig {
+        let mut sm = SmConfig::default()
             .with_regfile_capacity_factor(self.mrf_config.capacity_factor)
             .with_mrf_latency_factor(self.latency_factor())
             .with_active_warps(self.active_warps);
         // The Table 2 design points change the bank count as well as the
         // latency (the 8x designs use 8x as many banks behind a flattened
         // butterfly), which is what keeps their aggregate bandwidth usable.
-        gpu.regfile.mrf_banks =
-            ((16.0 * self.mrf_config.bank_count_factor).round() as usize).max(1);
+        sm.regfile.mrf_banks = ((16.0 * self.mrf_config.bank_count_factor).round() as usize).max(1);
         // The baseline comparison point of the paper adds the 16 KB of cache
         // capacity to the main register file instead.
         if matches!(
             self.organization,
             Organization::Baseline | Organization::Ideal
         ) {
-            gpu.regfile_bytes += gpu.regfile_cache_bytes;
+            sm.regfile_bytes += sm.regfile_cache_bytes;
         }
-        gpu
+        sm
+    }
+
+    /// Builds the whole-GPU simulator configuration for this experiment:
+    /// `sm_count` copies of [`Self::sm_config`] over the default shared-L2
+    /// contention model.
+    #[must_use]
+    pub fn gpu_config(&self) -> GpuConfig {
+        GpuConfig {
+            sm_count: self.sm_count.max(1),
+            sm: self.sm_config(),
+            ..GpuConfig::default()
+        }
     }
 }
 
 /// The outcome of one experiment run.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct RunResult {
     /// The organization that was simulated.
     pub organization: Organization,
-    /// Raw simulation statistics.
+    /// Simulation statistics. For a multi-SM experiment these are the
+    /// whole-GPU aggregate ([`GpuStats::aggregate`]): instruction and
+    /// register-file counters summed across SMs, `memory.llc`/`memory.dram`
+    /// carrying the shared structures' totals.
     pub stats: SimStats,
-    /// Instructions per cycle.
+    /// Full per-SM and shared-memory statistics, present when the
+    /// experiment simulated more than one SM.
+    pub gpu: Option<GpuStats>,
+    /// Instructions per cycle (whole-GPU IPC for multi-SM runs).
     pub ipc: f64,
-    /// Register-file energy/power breakdown for the run.
+    /// Register-file energy/power breakdown for the run. For multi-SM runs
+    /// this is the *per-SM average* (the power model describes one register
+    /// file, leakage included), which keeps it directly comparable to
+    /// single-SM results; multiply by `sm_count` for chip totals.
     pub power: PowerBreakdown,
     /// Register-cache hit rate, if the organization has a cache.
     pub cache_hit_rate: Option<f64>,
@@ -155,46 +191,91 @@ pub fn run_experiment(
     seed: u64,
     config: &ExperimentConfig,
 ) -> Result<RunResult, CoreError> {
-    let gpu = config.gpu_config();
+    let sm = config.sm_config();
     let params = LtrfParams {
         registers_per_interval: config.registers_per_interval,
         active_warps: config.active_warps,
         liveness_aware: config.organization == Organization::LtrfPlus,
     };
-    let mut built = build_organization(
-        config.organization,
-        kernel,
-        gpu.regfile,
-        params,
-        config.rfc_entries_per_warp,
-    )?;
-    let workload = SimWorkload::new(built.kernel.clone())
-        .with_memory(memory)
-        .with_seed(seed);
-    let stats = simulate(&workload, &gpu, built.model.as_mut());
+    let sm_count = config.sm_count.max(1);
+    let (stats, gpu_stats) = if sm_count == 1 {
+        let mut built = build_organization(
+            config.organization,
+            kernel,
+            sm.regfile,
+            params,
+            config.rfc_entries_per_warp,
+        )?;
+        let workload = SimWorkload::new(built.kernel.clone())
+            .with_memory(memory)
+            .with_seed(seed);
+        (simulate(&workload, &sm, built.model.as_mut()), None)
+    } else {
+        // Weak scaling: the grid *and* the memory footprint grow with the
+        // SM count, so every SM receives the same per-SM work — including
+        // the same per-warp streaming region size, and therefore the same
+        // intrinsic locality — as the single-SM campaigns. What changes
+        // with SM count is only the cross-SM contention for the shared
+        // L2/DRAM, which is the quantity under study.
+        let scaled = kernel.with_grid_scaled(u32::try_from(sm_count).unwrap_or(u32::MAX));
+        let scaled_memory = MemoryBehavior {
+            footprint_bytes: memory.footprint_bytes.saturating_mul(sm_count as u64),
+            ..memory
+        };
+        // One compilation, one model instance per SM.
+        let (compiled_kernel, mut models) = build_organization_fleet(
+            config.organization,
+            &scaled,
+            sm.regfile,
+            params,
+            config.rfc_entries_per_warp,
+            sm_count,
+        )?;
+        let workload = SimWorkload::new(compiled_kernel)
+            .with_memory(scaled_memory)
+            .with_seed(seed);
+        let gpu = config.gpu_config();
+        let gpu_stats = simulate_gpu(&workload, &gpu, &mut models);
+        (gpu_stats.aggregate(), Some(gpu_stats))
+    };
     let rfc_kib = if matches!(
         config.organization,
         Organization::Baseline | Organization::Ideal
     ) {
         0.0
     } else {
-        gpu.regfile_cache_bytes as f64 / 1024.0
+        sm.regfile_cache_bytes as f64 / 1024.0
     };
-    let power_model =
-        RegFilePowerModel::for_config(&config.mrf_config, rfc_kib, gpu.core_clock_mhz);
-    let power = power_model.evaluate(&stats.regfile_accesses);
+    let power_model = RegFilePowerModel::for_config(&config.mrf_config, rfc_kib, sm.core_clock_mhz);
+    // The power model describes ONE register file (its leakage term is per
+    // instance), so feed it per-SM mean access counts: for sm_count = 1
+    // this is the raw counts; for multi-SM runs it yields the per-SM
+    // average power, keeping the dynamic and leakage components on the
+    // same one-RF basis (summing counts would scale dynamic energy by N
+    // but leakage by 1).
+    let per_sm_counts = ltrf_tech::AccessCounts {
+        mrf_reads: stats.regfile_accesses.mrf_reads / sm_count as u64,
+        mrf_writes: stats.regfile_accesses.mrf_writes / sm_count as u64,
+        rfc_reads: stats.regfile_accesses.rfc_reads / sm_count as u64,
+        rfc_writes: stats.regfile_accesses.rfc_writes / sm_count as u64,
+        wcb_accesses: stats.regfile_accesses.wcb_accesses / sm_count as u64,
+        cycles: stats.regfile_accesses.cycles,
+    };
+    let power = power_model.evaluate(&per_sm_counts);
     Ok(RunResult {
         organization: config.organization,
-        stats,
         ipc: stats.ipc(),
-        power,
         cache_hit_rate: stats.register_cache_hit_rate,
+        stats,
+        gpu: gpu_stats,
+        power,
     })
 }
 
 /// Runs the reference baseline the paper normalizes against: the conventional
 /// register file on configuration #1 with the 16 KB cache capacity folded
-/// into the main register file.
+/// into the main register file, simulated at the same SM count as the
+/// experiment being normalized.
 ///
 /// # Errors
 ///
@@ -205,16 +286,31 @@ pub fn run_baseline_reference(
     memory: MemoryBehavior,
     seed: u64,
 ) -> Result<RunResult, CoreError> {
+    run_baseline_reference_at(kernel, memory, seed, 1)
+}
+
+/// [`run_baseline_reference`] at an explicit SM count (multi-SM experiments
+/// normalize against a baseline contending for the same shared memory).
+///
+/// # Errors
+///
+/// See [`run_baseline_reference`].
+pub fn run_baseline_reference_at(
+    kernel: &Kernel,
+    memory: MemoryBehavior,
+    seed: u64,
+    sm_count: usize,
+) -> Result<RunResult, CoreError> {
     run_experiment(
         kernel,
         memory,
         seed,
-        &ExperimentConfig::new(Organization::Baseline),
+        &ExperimentConfig::new(Organization::Baseline).with_sm_count(sm_count),
     )
 }
 
 /// A pair of runs: an organization and the baseline it is normalized to.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct NormalizedResult {
     /// The organization's run.
     pub result: RunResult,
@@ -236,7 +332,7 @@ pub fn run_normalized(
     seed: u64,
     config: &ExperimentConfig,
 ) -> Result<NormalizedResult, CoreError> {
-    let baseline = run_baseline_reference(kernel, memory, seed)?;
+    let baseline = run_baseline_reference_at(kernel, memory, seed, config.sm_count.max(1))?;
     let result = run_experiment(kernel, memory, seed, config)?;
     let normalized_ipc = if baseline.ipc > 0.0 {
         result.ipc / baseline.ipc
@@ -311,10 +407,76 @@ mod tests {
         let ideal = ExperimentConfig::for_table2(Organization::Ideal, 7);
         assert!((ideal.latency_factor() - 1.0).abs() < 1e-9);
         // The baseline folds the cache capacity into the main register file.
-        let bl = ExperimentConfig::new(Organization::Baseline).gpu_config();
+        let bl = ExperimentConfig::new(Organization::Baseline).sm_config();
         assert_eq!(bl.regfile_bytes, (256 + 16) * 1024);
-        let ltrf = ExperimentConfig::new(Organization::Ltrf).gpu_config();
+        let ltrf = ExperimentConfig::new(Organization::Ltrf).sm_config();
         assert_eq!(ltrf.regfile_bytes, 256 * 1024);
+        // The GPU-level configuration carries the SM count.
+        let gpu = ExperimentConfig::new(Organization::Ltrf)
+            .with_sm_count(4)
+            .gpu_config();
+        assert_eq!(gpu.sm_count, 4);
+        assert_eq!(gpu.sm.regfile_bytes, 256 * 1024);
+        assert_eq!(ExperimentConfig::new(Organization::Ltrf).sm_count, 1);
+    }
+
+    #[test]
+    fn sm_count_changes_the_cache_key() {
+        let one = ExperimentConfig::new(Organization::Ltrf);
+        let four = one.with_sm_count(4);
+        assert_ne!(one.cache_key_material(), four.cache_key_material());
+        assert!(four.cache_key_material().contains("\"sm_count\":4"));
+    }
+
+    #[test]
+    fn multi_sm_experiments_run_every_organization() {
+        let kernel = test_kernel();
+        for &org in Organization::all() {
+            let result = run_experiment(
+                &kernel,
+                MemoryBehavior::cache_resident(),
+                1,
+                &ExperimentConfig::for_table2(org, 6).with_sm_count(2),
+            )
+            .unwrap();
+            assert!(!result.stats.truncated, "{org} multi-SM run was truncated");
+            assert!(result.ipc > 0.0, "{org} produced zero GPU IPC");
+            let gpu = result.gpu.as_ref().expect("multi-SM runs carry GpuStats");
+            assert_eq!(gpu.sm_count, 2);
+            assert_eq!(gpu.per_sm.len(), 2);
+            assert!(gpu.ctas_per_sm.iter().all(|&c| c > 0));
+        }
+    }
+
+    #[test]
+    fn single_sm_experiment_has_no_gpu_stats_and_matches_legacy_path() {
+        let kernel = test_kernel();
+        let config = ExperimentConfig::for_table2(Organization::Ltrf, 6);
+        let result = run_experiment(&kernel, MemoryBehavior::cache_resident(), 2, &config).unwrap();
+        assert!(result.gpu.is_none());
+        let explicit_one = run_experiment(
+            &kernel,
+            MemoryBehavior::cache_resident(),
+            2,
+            &config.with_sm_count(1),
+        )
+        .unwrap();
+        assert_eq!(result, explicit_one);
+    }
+
+    #[test]
+    fn multi_sm_normalization_uses_a_multi_sm_baseline() {
+        let kernel = test_kernel();
+        let normalized = run_normalized(
+            &kernel,
+            MemoryBehavior::cache_resident(),
+            5,
+            &ExperimentConfig::for_table2(Organization::Ltrf, 6).with_sm_count(2),
+        )
+        .unwrap();
+        assert!(normalized.normalized_ipc > 0.0);
+        assert!(normalized.normalized_power > 0.0);
+        assert_eq!(normalized.result.gpu.as_ref().unwrap().sm_count, 2);
     }
 
     #[test]

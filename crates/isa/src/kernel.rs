@@ -39,6 +39,16 @@ impl LaunchConfig {
     pub const fn total_warps(&self) -> u64 {
         self.warps_per_block as u64 * self.blocks_per_grid as u64
     }
+
+    /// Returns the launch with `factor` times as many thread blocks
+    /// (saturating). Multi-SM simulations scale the grid this way so each
+    /// SM receives the same per-SM work regardless of how many SMs share
+    /// the chip (weak scaling).
+    #[must_use]
+    pub const fn with_grid_scaled(mut self, factor: u32) -> Self {
+        self.blocks_per_grid = self.blocks_per_grid.saturating_mul(factor);
+        self
+    }
 }
 
 impl Default for LaunchConfig {
@@ -147,6 +157,17 @@ impl Kernel {
     pub const fn regfile_bytes_per_warp(&self) -> u64 {
         self.regs_per_thread as u64 * 32 * 4
     }
+
+    /// Returns a copy whose grid launches `factor` times as many thread
+    /// blocks (the CTA-count plumbing behind multi-SM weak scaling: an
+    /// `sm_count`-SM campaign scales the grid by `sm_count` so every SM
+    /// sees the same per-SM workload as the single-SM campaigns).
+    #[must_use]
+    pub fn with_grid_scaled(&self, factor: u32) -> Self {
+        let mut scaled = self.clone();
+        scaled.launch = scaled.launch.with_grid_scaled(factor.max(1));
+        scaled
+    }
 }
 
 #[cfg(test)]
@@ -180,6 +201,30 @@ mod tests {
         assert_eq!(k.static_instruction_count(), 4);
         assert_eq!(k.regfile_bytes_per_warp(), 8 * 32 * 4);
         assert_eq!(k.launch().total_warps(), 8 * 64);
+    }
+
+    #[test]
+    fn grid_scaling_multiplies_blocks_only() {
+        let k = Kernel::new(
+            "k",
+            simple_cfg(4),
+            8,
+            LaunchConfig::new(8, 16, 0),
+            RegisterSensitivity::Sensitive,
+        )
+        .unwrap();
+        let scaled = k.with_grid_scaled(4);
+        assert_eq!(scaled.launch().blocks_per_grid, 64);
+        assert_eq!(scaled.launch().warps_per_block, 8);
+        assert_eq!(k.launch().blocks_per_grid, 16, "original is untouched");
+        // Factor zero is clamped to one, and huge factors saturate.
+        assert_eq!(k.with_grid_scaled(0).launch().blocks_per_grid, 16);
+        assert_eq!(
+            LaunchConfig::new(1, u32::MAX, 0)
+                .with_grid_scaled(2)
+                .blocks_per_grid,
+            u32::MAX
+        );
     }
 
     #[test]

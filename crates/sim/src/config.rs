@@ -1,4 +1,17 @@
 //! Simulated GPU configuration (the paper's Table 3).
+//!
+//! Two levels of configuration exist:
+//!
+//! * [`SmConfig`] describes one streaming multiprocessor — pipeline widths,
+//!   functional-unit latencies, register-file organization parameters, and
+//!   the memory hierarchy it sees (private L1, plus the capacity/timing of
+//!   the L2 and DRAM it shares with every other SM);
+//! * [`GpuConfig`] describes the whole chip — how many SMs there are and how
+//!   the shared L2 arbitrates their combined request stream
+//!   ([`L2Config`]).
+//!
+//! A [`GpuConfig`] with `sm_count == 1` is definitionally the single-SM
+//! simulation the per-figure campaigns have always run.
 
 use serde::{Deserialize, Serialize};
 
@@ -145,10 +158,15 @@ impl RegFileTiming {
     }
 }
 
-/// Full configuration of the simulated streaming multiprocessor, modelled
+/// Full configuration of one simulated streaming multiprocessor, modelled
 /// after the paper's Table 3 (NVIDIA Maxwell-like).
+///
+/// The `memory` field describes the whole hierarchy as one SM sees it: the
+/// L1 fields are private per-SM structures, while the LLC/DRAM fields
+/// describe the chip-level shared structures (a single SM simulation models
+/// them without cross-SM contention; [`crate::simulate_gpu`] shares them).
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
-pub struct GpuConfig {
+pub struct SmConfig {
     /// Core clock, in MHz (1137 MHz).
     pub core_clock_mhz: f64,
     /// Maximum resident warps per SM (64).
@@ -175,9 +193,9 @@ pub struct GpuConfig {
     pub max_cycles: Cycle,
 }
 
-impl Default for GpuConfig {
+impl Default for SmConfig {
     fn default() -> Self {
-        GpuConfig {
+        SmConfig {
             core_clock_mhz: 1137.0,
             max_warps: 64,
             active_warps: 8,
@@ -194,7 +212,7 @@ impl Default for GpuConfig {
     }
 }
 
-impl GpuConfig {
+impl SmConfig {
     /// Returns a configuration whose main register file is `factor` times
     /// larger than the baseline (capacity only; latency is set separately
     /// through [`RegFileTiming::with_latency_factor`]).
@@ -233,13 +251,83 @@ impl GpuConfig {
     }
 }
 
+/// Bandwidth/queue model of the shared L2 cache.
+///
+/// The L2 is address-interleaved over `slices`; each slice serves one
+/// request per `service_cycles` of occupancy, so requests from different SMs
+/// (and overlapping requests from one SM) that map to the same slice queue
+/// behind each other. This is the chip-level contention the single-SM
+/// simulation deliberately omits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct L2Config {
+    /// Number of address-interleaved L2 slices (banks).
+    pub slices: usize,
+    /// Tag + data occupancy of a slice per request, in core cycles.
+    pub service_cycles: Cycle,
+}
+
+impl Default for L2Config {
+    fn default() -> Self {
+        // 32 slices × one request per 2 cycles ≈ 16 requests/cycle of
+        // aggregate tag bandwidth, a Maxwell-like figure.
+        L2Config {
+            slices: 32,
+            service_cycles: 2,
+        }
+    }
+}
+
+/// Whole-GPU configuration: `sm_count` identical SMs over a shared L2 and
+/// DRAM.
+///
+/// The shared L2's capacity/latency and the DRAM channel organization come
+/// from `sm.memory` (Table 3 describes them once, chip-wide); `l2` adds the
+/// contention model that only matters when several SMs compete.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GpuConfig {
+    /// Number of streaming multiprocessors (Table 3's GPU has 16).
+    pub sm_count: usize,
+    /// The per-SM configuration, replicated across all SMs.
+    pub sm: SmConfig,
+    /// Shared-L2 bandwidth/queue parameters.
+    pub l2: L2Config,
+}
+
+impl Default for GpuConfig {
+    fn default() -> Self {
+        GpuConfig {
+            sm_count: 16,
+            sm: SmConfig::default(),
+            l2: L2Config::default(),
+        }
+    }
+}
+
+impl GpuConfig {
+    /// A GPU of `sm_count` default SMs.
+    #[must_use]
+    pub fn with_sm_count(sm_count: usize) -> Self {
+        GpuConfig {
+            sm_count: sm_count.max(1),
+            ..GpuConfig::default()
+        }
+    }
+
+    /// Replaces the per-SM configuration.
+    #[must_use]
+    pub fn with_sm(mut self, sm: SmConfig) -> Self {
+        self.sm = sm;
+        self
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
     #[test]
     fn default_matches_table3() {
-        let c = GpuConfig::default();
+        let c = SmConfig::default();
         assert_eq!(c.max_warps, 64);
         assert_eq!(c.active_warps, 8);
         assert_eq!(c.regfile_bytes, 256 * 1024);
@@ -252,7 +340,7 @@ mod tests {
 
     #[test]
     fn occupancy_is_limited_by_register_demand() {
-        let c = GpuConfig::default();
+        let c = SmConfig::default();
         // 32 registers/thread -> 4 KB per warp -> 64 warps fit in 256 KB.
         assert_eq!(c.resident_warps(32), 64);
         // 64 registers/thread -> 8 KB per warp -> only 32 warps fit.
@@ -275,10 +363,21 @@ mod tests {
 
     #[test]
     fn builder_helpers() {
-        let c = GpuConfig::default()
+        let c = SmConfig::default()
             .with_mrf_latency_factor(4.0)
             .with_active_warps(16);
         assert_eq!(c.regfile.mrf_latency(), 8);
         assert_eq!(c.active_warps, 16);
+    }
+
+    #[test]
+    fn gpu_config_defaults_and_builders() {
+        let g = GpuConfig::default();
+        assert_eq!(g.sm_count, 16);
+        assert_eq!(g.l2.slices, 32);
+        let g4 = GpuConfig::with_sm_count(4).with_sm(SmConfig::default().with_active_warps(4));
+        assert_eq!(g4.sm_count, 4);
+        assert_eq!(g4.sm.active_warps, 4);
+        assert_eq!(GpuConfig::with_sm_count(0).sm_count, 1);
     }
 }

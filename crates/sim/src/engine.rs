@@ -3,9 +3,9 @@
 //!
 //! The engine models one streaming multiprocessor at cycle granularity:
 //!
-//! * up to [`GpuConfig::max_warps`] warps are resident, further limited by the
+//! * up to [`SmConfig::max_warps`] warps are resident, further limited by the
 //!   register-file capacity and the kernel's launch size;
-//! * a two-level scheduler keeps [`GpuConfig::active_warps`] warps in the
+//! * a two-level scheduler keeps [`SmConfig::active_warps`] warps in the
 //!   active pool; a warp that issues a long-latency operation (global/local
 //!   memory access or barrier) is demoted and another eligible warp is
 //!   promoted, paying whatever activation cost the register-file organization
@@ -19,14 +19,18 @@
 //! * a per-register scoreboard enforces RAW/WAW ordering inside each warp.
 //!
 //! Simplifications relative to GPGPU-Sim, none of which change which
-//! register-file organization wins: a single SM is simulated (the paper's
-//! workloads behave homogeneously across SMs), barriers are modelled as a
-//! fixed long-latency operation rather than an inter-warp rendezvous, and
-//! only one "wave" of resident warps is executed per kernel.
+//! register-file organization wins: barriers are modelled as a fixed
+//! long-latency operation rather than an inter-warp rendezvous, and only one
+//! "wave" of resident warps is executed per kernel. [`simulate`] runs one SM
+//! (the paper's workloads behave homogeneously across SMs, so single-SM
+//! campaigns remain representative for register-file comparisons); the
+//! multi-SM mode in [`crate::gpu`] drives several of these engines in
+//! lock-step over a shared L2/DRAM when chip-level memory contention
+//! matters.
 
 use ltrf_isa::{Kernel, Opcode, OpcodeClass};
 
-use crate::config::GpuConfig;
+use crate::config::SmConfig;
 use crate::memory::{AddressGenerator, MemoryBehavior, MemoryHierarchy};
 use crate::regfile::RegisterFileModel;
 use crate::stats::SimStats;
@@ -73,15 +77,22 @@ impl SimWorkload {
 /// Runs `workload` on one SM with the given register-file organization.
 pub fn simulate(
     workload: &SimWorkload,
-    config: &GpuConfig,
+    config: &SmConfig,
     regfile: &mut dyn RegisterFileModel,
 ) -> SimStats {
     Engine::new(workload, config, regfile).run()
 }
 
-struct Engine<'a> {
+/// The per-SM pipeline state machine.
+///
+/// Private to the crate: [`simulate`] drives one engine to completion with
+/// idle-period fast-forwarding, and [`crate::gpu`] steps several engines in
+/// lock-step over shared memory. The two drivers use the same issue /
+/// refill / next-event primitives, so an `sm_count = 1` GPU and the classic
+/// single-SM simulation execute identical cycle-by-cycle schedules.
+pub(crate) struct Engine<'a> {
     kernel: &'a Kernel,
-    config: &'a GpuConfig,
+    config: &'a SmConfig,
     regfile: &'a mut dyn RegisterFileModel,
     memory: MemoryHierarchy,
     addresses: AddressGenerator,
@@ -89,12 +100,13 @@ struct Engine<'a> {
     active: Vec<WarpId>,
     collectors: Vec<Cycle>,
     stats: SimStats,
+    finished: usize,
 }
 
 impl<'a> Engine<'a> {
     fn new(
         workload: &'a SimWorkload,
-        config: &'a GpuConfig,
+        config: &'a SmConfig,
         regfile: &'a mut dyn RegisterFileModel,
     ) -> Self {
         let kernel = &workload.kernel;
@@ -102,35 +114,70 @@ impl<'a> Engine<'a> {
         let resident = config
             .resident_warps(kernel.regs_per_thread())
             .min(launch_warps.max(1));
-        let warps = (0..resident)
-            .map(|i| WarpContext::new(kernel, workload.seed ^ (0x9E37 + i as u64 * 0x85EB_CA6B)))
+        let seeds: Vec<u64> = (0..resident as u64)
+            .map(|i| workload.seed ^ (0x9E37 + i * 0x85EB_CA6B))
+            .collect();
+        Engine::with_parts(
+            kernel,
+            config,
+            regfile,
+            MemoryHierarchy::new(&config.memory),
+            AddressGenerator::new(workload.memory, resident, workload.seed),
+            &seeds,
+        )
+    }
+
+    /// Assembles an engine from externally constructed parts: the memory
+    /// hierarchy (private or a shared port), the address generator (whole
+    /// footprint or an SM's shard), and one deterministic seed per resident
+    /// warp.
+    pub(crate) fn with_parts(
+        kernel: &'a Kernel,
+        config: &'a SmConfig,
+        regfile: &'a mut dyn RegisterFileModel,
+        memory: MemoryHierarchy,
+        addresses: AddressGenerator,
+        warp_seeds: &[u64],
+    ) -> Self {
+        let warps: Vec<WarpContext> = warp_seeds
+            .iter()
+            .map(|&seed| WarpContext::new(kernel, seed))
             .collect();
         let stats = SimStats {
-            warps_resident: resident,
+            warps_resident: warps.len(),
             ..SimStats::default()
         };
         Engine {
             kernel,
             config,
             regfile,
-            memory: MemoryHierarchy::new(&config.memory),
-            addresses: AddressGenerator::new(workload.memory, resident, workload.seed),
+            memory,
+            addresses,
             warps,
             active: Vec::new(),
             collectors: vec![0; config.operand_collectors.max(1)],
             stats,
+            finished: 0,
         }
+    }
+
+    /// Whether every resident warp has retired.
+    pub(crate) fn is_done(&self) -> bool {
+        self.finished >= self.warps.len()
+    }
+
+    /// Records a cycle in which this SM issued nothing.
+    pub(crate) fn note_idle(&mut self) {
+        self.stats.idle_cycles += 1;
     }
 
     fn run(mut self) -> SimStats {
         let mut cycle: Cycle = 0;
-        let mut finished = 0usize;
-        let total = self.warps.len();
         self.refill_active_pool(cycle);
-        while finished < total && cycle < self.config.max_cycles {
-            let issued = self.issue_cycle(cycle, &mut finished);
+        while !self.is_done() && cycle < self.config.max_cycles {
+            let issued = self.issue_cycle(cycle);
             if issued == 0 {
-                self.stats.idle_cycles += 1;
+                self.note_idle();
                 let next = self.next_event_after(cycle);
                 cycle = next.max(cycle + 1);
             } else {
@@ -138,9 +185,14 @@ impl<'a> Engine<'a> {
             }
             self.refill_active_pool(cycle);
         }
+        self.finalize(cycle)
+    }
+
+    /// Closes the books at `cycle` and returns the SM's statistics.
+    pub(crate) fn finalize(mut self, cycle: Cycle) -> SimStats {
         self.stats.cycles = cycle.max(1);
-        self.stats.warps_completed = finished;
-        self.stats.truncated = finished < total;
+        self.stats.warps_completed = self.finished;
+        self.stats.truncated = self.finished < self.warps.len();
         self.stats.regfile_accesses = self.regfile.access_counts();
         self.stats.regfile_accesses.cycles = self.stats.cycles;
         self.stats.register_cache_hit_rate = self.regfile.register_cache_hit_rate();
@@ -151,7 +203,7 @@ impl<'a> Engine<'a> {
 
     /// Issues up to `issue_width` instructions from the active pool at
     /// `cycle`. Returns the number of instructions issued.
-    fn issue_cycle(&mut self, cycle: Cycle, finished: &mut usize) -> usize {
+    pub(crate) fn issue_cycle(&mut self, cycle: Cycle) -> usize {
         let mut issued = 0;
         // Rotate the starting warp each cycle for round-robin fairness.
         let active_snapshot: Vec<WarpId> = self.active.clone();
@@ -164,7 +216,7 @@ impl<'a> Engine<'a> {
                 break;
             }
             let warp_id = active_snapshot[(start + offset) % active_snapshot.len()];
-            if self.try_issue(warp_id, cycle, finished) {
+            if self.try_issue(warp_id, cycle) {
                 issued += 1;
             }
         }
@@ -173,7 +225,7 @@ impl<'a> Engine<'a> {
 
     /// Attempts to issue one instruction from `warp_id`. Returns `true` on
     /// success.
-    fn try_issue(&mut self, warp_id: WarpId, cycle: Cycle, finished: &mut usize) -> bool {
+    fn try_issue(&mut self, warp_id: WarpId, cycle: Cycle) -> bool {
         // Resolve stalls.
         match self.warps[warp_id.index()].status {
             WarpStatus::StalledUntil(t) if t <= cycle => {
@@ -196,13 +248,13 @@ impl<'a> Engine<'a> {
             if guard > self.kernel.cfg.block_count() + 1 {
                 // Pathological empty-block cycle; treat the warp as finished
                 // so the simulation terminates.
-                self.retire_warp(warp_id, cycle, finished);
+                self.retire_warp(warp_id, cycle);
                 return false;
             }
             let next = self.warps[warp_id.index()].take_branch(self.kernel);
             match next {
                 None => {
-                    self.retire_warp(warp_id, cycle, finished);
+                    self.retire_warp(warp_id, cycle);
                     return false;
                 }
                 Some(next_block) => {
@@ -316,11 +368,11 @@ impl<'a> Engine<'a> {
         }
     }
 
-    fn retire_warp(&mut self, warp_id: WarpId, cycle: Cycle, finished: &mut usize) {
+    fn retire_warp(&mut self, warp_id: WarpId, cycle: Cycle) {
         self.warps[warp_id.index()].status = WarpStatus::Finished;
         self.active.retain(|&w| w != warp_id);
         self.regfile.warp_deactivated(warp_id, cycle);
-        *finished += 1;
+        self.finished += 1;
     }
 
     fn demote_warp(&mut self, warp_id: WarpId, resume_at: Cycle, cycle: Cycle) {
@@ -330,7 +382,7 @@ impl<'a> Engine<'a> {
     }
 
     /// Promotes eligible warps into the active pool until it is full.
-    fn refill_active_pool(&mut self, cycle: Cycle) {
+    pub(crate) fn refill_active_pool(&mut self, cycle: Cycle) {
         while self.active.len() < self.config.active_warps {
             let candidate = self.pick_activation_candidate(cycle);
             let Some(warp_id) = candidate else { break };
@@ -368,7 +420,7 @@ impl<'a> Engine<'a> {
 
     /// Earliest cycle after `cycle` at which anything can change, used to
     /// fast-forward through idle periods.
-    fn next_event_after(&self, cycle: Cycle) -> Cycle {
+    pub(crate) fn next_event_after(&self, cycle: Cycle) -> Cycle {
         let mut next = Cycle::MAX;
         for (idx, warp) in self.warps.iter().enumerate() {
             let id = WarpId(idx as u32);
@@ -405,12 +457,12 @@ mod tests {
     use crate::regfile::{DirectRegisterFile, IdealRegisterFile};
     use ltrf_isa::{straight_line_kernel, ArchReg, KernelBuilder, LaunchConfig, Opcode};
 
-    fn small_config() -> GpuConfig {
-        GpuConfig {
+    fn small_config() -> SmConfig {
+        SmConfig {
             max_warps: 8,
             active_warps: 4,
             max_cycles: 2_000_000,
-            ..GpuConfig::default()
+            ..SmConfig::default()
         }
     }
 
@@ -534,16 +586,16 @@ mod tests {
         // not the limit): a larger active pool hides more of the load
         // latency, as in the paper's Figure 13.
         let kernel = memory_kernel(16);
-        let config = GpuConfig {
+        let config = SmConfig {
             max_warps: 16,
             active_warps: 1,
-            ..GpuConfig::default()
+            ..SmConfig::default()
         };
         let workload =
             SimWorkload::new(kernel.clone()).with_memory(MemoryBehavior::cache_resident());
         let mut rf = DirectRegisterFile::new(config.regfile);
         let few = simulate(&workload, &config, &mut rf);
-        let config8 = GpuConfig {
+        let config8 = SmConfig {
             active_warps: 8,
             ..config
         };
@@ -562,12 +614,12 @@ mod tests {
         // 128 registers per thread -> 16 KB per warp -> 16 warps in 256 KB.
         let kernel = straight_line_kernel("big", 128, 30);
         let workload = SimWorkload::new(kernel);
-        let config = GpuConfig::default();
+        let config = SmConfig::default();
         let mut rf = DirectRegisterFile::new(config.regfile);
         let stats = simulate(&workload, &config, &mut rf);
         assert_eq!(stats.warps_resident, 16);
         // An 8x register file lifts the cap (launch provides 8*64 warps).
-        let big = GpuConfig::default().with_regfile_capacity_factor(8.0);
+        let big = SmConfig::default().with_regfile_capacity_factor(8.0);
         let mut rf2 = DirectRegisterFile::new(big.regfile);
         let stats2 = simulate(&workload, &big, &mut rf2);
         assert_eq!(stats2.warps_resident, 64);

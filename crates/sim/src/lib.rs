@@ -1,14 +1,20 @@
 //! # ltrf-sim
 //!
-//! A cycle-level GPU streaming-multiprocessor timing simulator, built from
-//! scratch as the substrate for the LTRF reproduction (the role GPGPU-Sim
-//! v3.2.2 plays in the original study).
+//! A cycle-level GPU timing simulator, built from scratch as the substrate
+//! for the LTRF reproduction (the role GPGPU-Sim v3.2.2 plays in the
+//! original study).
 //!
-//! The simulator models one Maxwell-like SM (Table 3 of the paper): 64
+//! The unit of simulation is one Maxwell-like SM (Table 3 of the paper): 64
 //! resident warps, a two-level warp scheduler with a configurable active
 //! pool, operand collectors in front of a banked register file, per-opcode
-//! execution latencies, and a full memory hierarchy (L1D, shared last-level
-//! cache, and FR-FCFS-style GDDR5 DRAM channels).
+//! execution latencies, and a full memory hierarchy (L1D, last-level cache,
+//! and FR-FCFS-style GDDR5 DRAM channels). [`simulate`] runs a kernel on a
+//! single SM with a private hierarchy; [`simulate_gpu`] runs a whole chip —
+//! [`GpuConfig::sm_count`] SMs dealt CTAs round-robin, contending for a
+//! shared, sliced L2 and the DRAM channels — and reports aggregated
+//! [`GpuStats`] (per-SM IPC, L2 hit rate, DRAM row-buffer and queueing
+//! behaviour). An `sm_count = 1` GPU reproduces the single-SM engine bit
+//! for bit.
 //!
 //! The register file itself is pluggable: the SM pipeline talks to a
 //! [`RegisterFileModel`] trait object, and the organizations studied in the
@@ -20,10 +26,10 @@
 //!
 //! ```
 //! use ltrf_isa::straight_line_kernel;
-//! use ltrf_sim::{simulate, DirectRegisterFile, GpuConfig, SimWorkload};
+//! use ltrf_sim::{simulate, DirectRegisterFile, SimWorkload, SmConfig};
 //!
 //! let kernel = straight_line_kernel("demo", 16, 64);
-//! let config = GpuConfig::default();
+//! let config = SmConfig::default();
 //! let mut regfile = DirectRegisterFile::new(config.regfile);
 //! let stats = simulate(&SimWorkload::new(kernel), &config, &mut regfile);
 //! assert!(stats.ipc() > 0.0);
@@ -35,15 +41,17 @@
 
 mod config;
 mod engine;
+pub mod gpu;
 pub mod memory;
 mod regfile;
 mod stats;
 mod types;
 mod warp;
 
-pub use config::{ExecLatencies, GpuConfig, MemoryConfig, RegFileTiming};
+pub use config::{ExecLatencies, GpuConfig, L2Config, MemoryConfig, RegFileTiming, SmConfig};
 pub use engine::{simulate, SimWorkload};
-pub use memory::{AddressGenerator, MemoryBehavior, MemoryStats};
+pub use gpu::{simulate_gpu, GpuStats};
+pub use memory::{AddressGenerator, MemoryBehavior, MemoryStats, SharedMemory};
 pub use regfile::{DirectRegisterFile, IdealRegisterFile, RegisterFileModel};
 pub use stats::SimStats;
 pub use types::{BankArbiter, Cycle, WarpId};

@@ -81,12 +81,33 @@ impl AddressGenerator {
     /// Creates a generator for `warps` resident warps.
     #[must_use]
     pub fn new(behavior: MemoryBehavior, warps: usize, seed: u64) -> Self {
+        AddressGenerator::sharded(behavior, warps, seed, 0, warps)
+    }
+
+    /// Creates a generator for one SM's shard of a multi-SM launch: the SM
+    /// holds `warps` local warps whose global indices start at `first_warp`
+    /// out of `total_warps` across the GPU.
+    ///
+    /// Regions are carved from the footprint by *global* warp index, so the
+    /// SMs stream through disjoint slices of the same footprint (the common
+    /// partitioned-grid pattern) while still colliding in the shared L2/DRAM
+    /// through reuse and row/channel interleaving. With `first_warp == 0`
+    /// and `total_warps == warps` this is exactly [`AddressGenerator::new`].
+    #[must_use]
+    pub fn sharded(
+        behavior: MemoryBehavior,
+        warps: usize,
+        seed: u64,
+        first_warp: usize,
+        total_warps: usize,
+    ) -> Self {
         // Spread warps evenly across the footprint so they stream through
         // disjoint regions, the common GPU access pattern.
         let footprint = behavior.footprint_bytes.max(128);
-        let region = footprint / warps.max(1) as u64;
-        let cursor = (0..warps as u64).map(|w| w * region).collect();
-        let last = (0..warps as u64).map(|w| w * region).collect();
+        let region = footprint / total_warps.max(1) as u64;
+        let start = |w: u64| (first_warp as u64 + w) * region;
+        let cursor = (0..warps as u64).map(start).collect();
+        let last = (0..warps as u64).map(start).collect();
         AddressGenerator {
             behavior,
             cursor,
@@ -188,6 +209,23 @@ mod tests {
             assert!(gen.next_address(WarpId(0)) < 4096);
             assert!(gen.next_address(WarpId(1)) < 4096);
         }
+    }
+
+    #[test]
+    fn sharded_regions_follow_global_warp_indices() {
+        let behavior = MemoryBehavior {
+            footprint_bytes: 1024 * 1024,
+            reuse_probability: 0.0,
+            stride_bytes: 128,
+        };
+        // 4 warps over 2 SMs: SM1's first warp starts where warp 2 of a
+        // 4-warp single-SM generator would.
+        let mut whole = AddressGenerator::new(behavior, 4, 7);
+        let mut sm1 = AddressGenerator::sharded(behavior, 2, 7, 2, 4);
+        let _ = whole.next_address(WarpId(0));
+        let _ = whole.next_address(WarpId(1));
+        let w2 = whole.next_address(WarpId(2));
+        assert_eq!(sm1.next_address(WarpId(0)), w2);
     }
 
     #[test]

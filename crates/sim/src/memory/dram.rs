@@ -23,6 +23,10 @@ pub struct DramStats {
     pub row_misses: u64,
     /// Total requests serviced.
     pub requests: u64,
+    /// Cycles requests spent queued behind busy banks or channel buses —
+    /// the direct measure of DRAM contention (grows superlinearly as more
+    /// SMs share the channels).
+    pub queue_wait_cycles: u64,
 }
 
 impl DramStats {
@@ -109,6 +113,7 @@ impl Dram {
         let start = now.max(bank.ready_at);
         let data_ready = start + core_latency;
         let bus_start = data_ready.max(self.channel_bus_free[channel]);
+        self.stats.queue_wait_cycles += (start - now) + (bus_start - data_ready);
         let done = bus_start + self.burst_cycles;
         bank.ready_at = done;
         self.channel_bus_free[channel] = done;

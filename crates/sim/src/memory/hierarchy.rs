@@ -1,9 +1,25 @@
 //! The full memory hierarchy: per-SM L1 data cache, shared last-level cache,
 //! and DRAM, with a simple MSHR-style limit on outstanding requests.
+//!
+//! The hierarchy comes in two shapes behind one type:
+//!
+//! * **Private** — [`MemoryHierarchy::new`]: the L1, L2, and DRAM all belong
+//!   to the one simulated SM. This is the configuration every single-SM
+//!   campaign runs and models the L2 with *unlimited* bandwidth (optimistic
+//!   when many SMs would really share it).
+//! * **Shared** — [`MemoryHierarchy::shared_port`]: the L1 and MSHRs stay
+//!   private, but L2 and DRAM live in a [`SharedMemory`] that every SM's
+//!   port references. The shared L2 is sliced ([`L2Config`]) and each slice
+//!   serves one request per occupancy window, so concurrent request streams
+//!   queue against each other — the chip-level contention the multi-SM mode
+//!   exists to model.
+
+use std::cell::RefCell;
+use std::rc::Rc;
 
 use serde::{Deserialize, Serialize};
 
-use crate::config::MemoryConfig;
+use crate::config::{L2Config, MemoryConfig};
 use crate::memory::cache::{Cache, CacheOutcome, CacheStats};
 use crate::memory::dram::{Dram, DramStats};
 use crate::types::Cycle;
@@ -13,14 +29,104 @@ use crate::types::Cycle;
 pub struct MemoryStats {
     /// L1 data-cache statistics.
     pub l1d: CacheStats,
-    /// Last-level cache statistics.
+    /// Last-level cache statistics. For a shared port these are the
+    /// GPU-global L2 numbers (every SM port reports the same totals).
     pub llc: CacheStats,
-    /// DRAM statistics.
+    /// DRAM statistics. GPU-global for a shared port, like `llc`.
     pub dram: DramStats,
     /// Global memory requests issued.
     pub global_requests: u64,
     /// Requests rejected because too many were outstanding (issue stalls).
     pub mshr_stalls: u64,
+    /// Cycles requests spent queued behind busy L2 slices (always zero for
+    /// a private hierarchy, whose L2 has unlimited bandwidth).
+    pub l2_queue_wait_cycles: u64,
+}
+
+/// The chip-level memory structures shared by every SM: the sliced L2 and
+/// the DRAM channels.
+///
+/// Single-threaded by design — a multi-SM simulation interleaves its SMs on
+/// one thread (the sweep engine parallelizes across campaign *points*, not
+/// inside one), so ports hold this behind `Rc<RefCell<..>>`.
+#[derive(Debug)]
+pub struct SharedMemory {
+    llc: Cache,
+    dram: Dram,
+    llc_hit_latency: Cycle,
+    line_bytes: u64,
+    /// Next-free cycle per L2 slice.
+    slice_free: Vec<Cycle>,
+    service_cycles: Cycle,
+    l2_queue_wait_cycles: u64,
+}
+
+impl SharedMemory {
+    /// Creates the shared L2 + DRAM from the chip-wide memory configuration.
+    #[must_use]
+    pub fn new(config: &MemoryConfig, l2: &L2Config) -> Self {
+        SharedMemory {
+            llc: Cache::new(config.llc_bytes, config.llc_ways, config.line_bytes),
+            dram: Dram::new(config),
+            llc_hit_latency: config.llc_hit_latency,
+            line_bytes: config.line_bytes.max(1),
+            slice_free: vec![0; l2.slices.max(1)],
+            service_cycles: l2.service_cycles,
+            l2_queue_wait_cycles: 0,
+        }
+    }
+
+    /// Services an L1 miss arriving at the L2 at `arrive`; returns the
+    /// completion cycle.
+    fn access(&mut self, line_addr: u64, arrive: Cycle) -> Cycle {
+        let slice = ((line_addr / self.line_bytes) % self.slice_free.len() as u64) as usize;
+        let start = arrive.max(self.slice_free[slice]);
+        self.l2_queue_wait_cycles += start - arrive;
+        self.slice_free[slice] = start + self.service_cycles;
+        let tag_done = start + self.llc_hit_latency;
+        match self.llc.access(line_addr) {
+            CacheOutcome::Hit => tag_done,
+            CacheOutcome::Miss => self.dram.access(line_addr, tag_done),
+        }
+    }
+
+    /// GPU-global L2 statistics.
+    #[must_use]
+    pub fn llc_stats(&self) -> CacheStats {
+        self.llc.stats()
+    }
+
+    /// GPU-global DRAM statistics.
+    #[must_use]
+    pub fn dram_stats(&self) -> DramStats {
+        self.dram.stats()
+    }
+
+    /// Cycles requests spent queued behind busy L2 slices.
+    #[must_use]
+    pub fn l2_queue_wait_cycles(&self) -> u64 {
+        self.l2_queue_wait_cycles
+    }
+}
+
+/// Which L2/DRAM a hierarchy drains into.
+///
+/// The private levels are boxed so the enum stays pointer-sized either way
+/// (the cache tag arrays are large).
+#[derive(Debug)]
+enum Backend {
+    /// SM-private L2 + DRAM with unlimited L2 bandwidth (the validated
+    /// single-SM configuration).
+    Private(Box<PrivateLevels>),
+    /// A port onto the chip-shared structures.
+    Shared(Rc<RefCell<SharedMemory>>),
+}
+
+/// The L2 and DRAM owned outright by a single-SM hierarchy.
+#[derive(Debug)]
+struct PrivateLevels {
+    llc: Cache,
+    dram: Dram,
 }
 
 /// The memory hierarchy serving one simulated SM.
@@ -28,8 +134,7 @@ pub struct MemoryStats {
 pub struct MemoryHierarchy {
     config: MemoryConfig,
     l1d: Cache,
-    llc: Cache,
-    dram: Dram,
+    backend: Backend,
     /// Completion times of outstanding requests (bounded by the MSHR count).
     outstanding: Vec<Cycle>,
     stats_global_requests: u64,
@@ -37,14 +142,30 @@ pub struct MemoryHierarchy {
 }
 
 impl MemoryHierarchy {
-    /// Creates a hierarchy from the configuration.
+    /// Creates a fully private hierarchy from the configuration.
     #[must_use]
     pub fn new(config: &MemoryConfig) -> Self {
         MemoryHierarchy {
             config: *config,
             l1d: Cache::new(config.l1d_bytes, config.l1d_ways, config.line_bytes),
-            llc: Cache::new(config.llc_bytes, config.llc_ways, config.line_bytes),
-            dram: Dram::new(config),
+            backend: Backend::Private(Box::new(PrivateLevels {
+                llc: Cache::new(config.llc_bytes, config.llc_ways, config.line_bytes),
+                dram: Dram::new(config),
+            })),
+            outstanding: Vec::new(),
+            stats_global_requests: 0,
+            stats_mshr_stalls: 0,
+        }
+    }
+
+    /// Creates one SM's port onto a shared L2/DRAM: a private L1 and MSHRs
+    /// in front of `shared`.
+    #[must_use]
+    pub fn shared_port(config: &MemoryConfig, shared: Rc<RefCell<SharedMemory>>) -> Self {
+        MemoryHierarchy {
+            config: *config,
+            l1d: Cache::new(config.l1d_bytes, config.l1d_ways, config.line_bytes),
+            backend: Backend::Shared(shared),
             outstanding: Vec::new(),
             stats_global_requests: 0,
             stats_mshr_stalls: 0,
@@ -73,16 +194,15 @@ impl MemoryHierarchy {
         let done = match l1 {
             CacheOutcome::Hit => now + self.config.l1_hit_latency,
             CacheOutcome::Miss => {
-                let llc = self.llc.access(line_addr);
-                match llc {
-                    CacheOutcome::Hit => {
-                        now + self.config.l1_hit_latency + self.config.llc_hit_latency
-                    }
-                    CacheOutcome::Miss => {
-                        let dram_issue =
-                            now + self.config.l1_hit_latency + self.config.llc_hit_latency;
-                        self.dram.access(line_addr, dram_issue)
-                    }
+                let l2_arrive = now + self.config.l1_hit_latency;
+                match &mut self.backend {
+                    Backend::Private(levels) => match levels.llc.access(line_addr) {
+                        CacheOutcome::Hit => l2_arrive + self.config.llc_hit_latency,
+                        CacheOutcome::Miss => levels
+                            .dram
+                            .access(line_addr, l2_arrive + self.config.llc_hit_latency),
+                    },
+                    Backend::Shared(shared) => shared.borrow_mut().access(line_addr, l2_arrive),
                 }
             }
         };
@@ -90,15 +210,28 @@ impl MemoryHierarchy {
         done
     }
 
-    /// Cumulative statistics.
+    /// Cumulative statistics. For a shared port the `llc`/`dram` fields are
+    /// the GPU-global totals of the shared structures.
     #[must_use]
     pub fn stats(&self) -> MemoryStats {
+        let (llc, dram, l2_queue_wait_cycles) = match &self.backend {
+            Backend::Private(levels) => (levels.llc.stats(), levels.dram.stats(), 0),
+            Backend::Shared(shared) => {
+                let shared = shared.borrow();
+                (
+                    shared.llc_stats(),
+                    shared.dram_stats(),
+                    shared.l2_queue_wait_cycles(),
+                )
+            }
+        };
         MemoryStats {
             l1d: self.l1d.stats(),
-            llc: self.llc.stats(),
-            dram: self.dram.stats(),
+            llc,
+            dram,
             global_requests: self.stats_global_requests,
             mshr_stalls: self.stats_mshr_stalls,
+            l2_queue_wait_cycles,
         }
     }
 }
@@ -166,5 +299,64 @@ mod tests {
         assert!(m.stats().mshr_stalls > 0);
         // After everything completes the hierarchy accepts requests again.
         assert!(m.can_accept(1_000_000_000));
+    }
+
+    #[test]
+    fn shared_port_uncontended_matches_private_timing() {
+        // One SM on a shared backend with zero slice occupancy sees the
+        // private hierarchy's exact latencies (no queueing, same caches).
+        let cfg = MemoryConfig::default();
+        let l2 = L2Config {
+            slices: 32,
+            service_cycles: 0,
+        };
+        let shared = Rc::new(RefCell::new(SharedMemory::new(&cfg, &l2)));
+        let mut port = MemoryHierarchy::shared_port(&cfg, shared);
+        let mut private = hierarchy();
+        for i in 0..256u64 {
+            let addr = i * 256;
+            assert_eq!(
+                port.access_global(addr, i * 10),
+                private.access_global(addr, i * 10)
+            );
+        }
+    }
+
+    #[test]
+    fn shared_l2_slices_queue_concurrent_requests() {
+        let cfg = MemoryConfig::default();
+        let l2 = L2Config {
+            slices: 1,
+            service_cycles: 4,
+        };
+        let shared = Rc::new(RefCell::new(SharedMemory::new(&cfg, &l2)));
+        let mut a = MemoryHierarchy::shared_port(&cfg, Rc::clone(&shared));
+        let mut b = MemoryHierarchy::shared_port(&cfg, Rc::clone(&shared));
+        // Two SMs miss their L1s at the same cycle; the single slice
+        // serialises them.
+        let done_a = a.access_global(0, 0);
+        let done_b = b.access_global(128, 0);
+        assert!(done_b > done_a || done_a > done_b);
+        assert!(shared.borrow().l2_queue_wait_cycles() > 0);
+        // Both ports report the same GPU-global shared stats.
+        assert_eq!(a.stats().llc, b.stats().llc);
+        assert_eq!(a.stats().dram, b.stats().dram);
+    }
+
+    #[test]
+    fn shared_l2_is_shared_content() {
+        // SM A warms a line; SM B's first access to it hits the L2 even
+        // though B's L1 is cold — cross-SM sharing through the L2.
+        let cfg = MemoryConfig::default();
+        let shared = Rc::new(RefCell::new(SharedMemory::new(&cfg, &L2Config::default())));
+        let mut a = MemoryHierarchy::shared_port(&cfg, Rc::clone(&shared));
+        let mut b = MemoryHierarchy::shared_port(&cfg, Rc::clone(&shared));
+        let _ = a.access_global(4096, 0);
+        let warm = b.access_global(4096, 100_000);
+        assert!(
+            warm - 100_000 < cfg.l1_hit_latency + cfg.llc_hit_latency + cfg.dram_row_hit_latency,
+            "B's access must be served by the shared L2, not DRAM"
+        );
+        assert_eq!(shared.borrow().llc_stats().hits, 1);
     }
 }

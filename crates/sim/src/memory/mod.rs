@@ -1,5 +1,20 @@
 //! Memory subsystem: caches, DRAM, address generation, and the combined
 //! hierarchy.
+//!
+//! Module map:
+//!
+//! * [`cache`] — a set-associative, LRU, line-granular cache model used for
+//!   both the per-SM L1D and the shared L2;
+//! * [`dram`] — the GDDR5-like channel/bank model with open-row state,
+//!   FR-FCFS-approximating service times, and bus-occupancy bandwidth
+//!   limits;
+//! * [`address`] — synthetic per-warp address generation from a workload's
+//!   [`MemoryBehavior`] profile (footprint, reuse, stride), with sharded
+//!   construction for multi-SM launches;
+//! * [`hierarchy`] — the composed hierarchy one SM talks to: private L1 and
+//!   MSHRs over either a private L2/DRAM (single-SM mode) or a port onto
+//!   the chip-shared [`SharedMemory`] (multi-SM mode with slice-queue L2
+//!   contention).
 
 pub mod address;
 pub mod cache;
@@ -9,4 +24,4 @@ pub mod hierarchy;
 pub use address::{AddressGenerator, MemoryBehavior};
 pub use cache::{Cache, CacheOutcome, CacheStats};
 pub use dram::{Dram, DramStats};
-pub use hierarchy::{MemoryHierarchy, MemoryStats};
+pub use hierarchy::{MemoryHierarchy, MemoryStats, SharedMemory};

@@ -2,9 +2,10 @@
 //! parallel, cached campaign engine.
 //!
 //! ```text
-//! sweep fig9   [OPTIONS]   six organizations × suite on configurations #6/#7
-//! sweep fig11  [OPTIONS]   latency-tolerance matrix (orgs × latency factors)
-//! sweep table2 [OPTIONS]   the seven design points, swept under BL and LTRF
+//! sweep fig9      [OPTIONS]   six organizations × suite on configurations #6/#7
+//! sweep fig11     [OPTIONS]   latency-tolerance matrix (orgs × latency factors)
+//! sweep table2    [OPTIONS]   the seven design points, swept under BL and LTRF
+//! sweep gpu-scale [OPTIONS]   BL/LTRF full-GPU scaling over shared L2/DRAM
 //!
 //! OPTIONS:
 //!   --quick             four-workload subset instead of the full suite
@@ -15,6 +16,9 @@
 //!   --threads N         worker threads              (default: all cores)
 //!   --per-point-seeds   derive a distinct seed per point instead of the
 //!                       paper's fixed campaign seed
+//!   --sm-count N        simulate N SMs sharing the L2/DRAM (fig9, fig11,
+//!                       table2; default 1, the classic single-SM campaigns)
+//!   --sm-counts A,B,..  the SM-count axis of gpu-scale (default 1,2,4,8)
 //! ```
 
 use std::collections::BTreeMap;
@@ -37,6 +41,12 @@ struct CliOptions {
     force: bool,
     threads: Option<usize>,
     per_point_seeds: bool,
+    /// SM count applied to the fig9/fig11/table2 campaigns (`--sm-count`);
+    /// `None` = the flag was not given (defaults to 1).
+    sm_count: Option<usize>,
+    /// The SM-count axis of the gpu-scale campaign (`--sm-counts`);
+    /// `None` = the flag was not given (defaults to 1,2,4,8).
+    sm_counts: Option<Vec<usize>>,
 }
 
 impl Default for CliOptions {
@@ -48,13 +58,16 @@ impl Default for CliOptions {
             force: false,
             threads: None,
             per_point_seeds: false,
+            sm_count: None,
+            sm_counts: None,
         }
     }
 }
 
 fn usage() -> &'static str {
-    "usage: sweep <fig9|fig11|table2> [--quick] [--out DIR] [--cache DIR] \
-     [--no-cache] [--force] [--threads N] [--per-point-seeds]"
+    "usage: sweep <fig9|fig11|table2|gpu-scale> [--quick] [--out DIR] [--cache DIR] \
+     [--no-cache] [--force] [--threads N] [--per-point-seeds] [--sm-count N] \
+     [--sm-counts A,B,..]"
 }
 
 fn parse_options(args: &[String]) -> Result<CliOptions, String> {
@@ -87,6 +100,24 @@ fn parse_options(args: &[String]) -> Result<CliOptions, String> {
                     .map_err(|e| format!("--threads: {e}"))?;
                 options.threads = Some(n.max(1));
             }
+            "--sm-count" => {
+                let n: usize = iter
+                    .next()
+                    .ok_or("--sm-count needs a count")?
+                    .parse()
+                    .map_err(|e| format!("--sm-count: {e}"))?;
+                options.sm_count = Some(n.max(1));
+            }
+            "--sm-counts" => {
+                let list = iter.next().ok_or("--sm-counts needs a comma list")?;
+                let counts: Result<Vec<usize>, _> =
+                    list.split(',').map(|c| c.trim().parse::<usize>()).collect();
+                let counts = counts.map_err(|e| format!("--sm-counts: {e}"))?;
+                if counts.is_empty() || counts.contains(&0) {
+                    return Err("--sm-counts needs positive counts".to_string());
+                }
+                options.sm_counts = Some(counts);
+            }
             other => return Err(format!("unknown option `{other}`\n{}", usage())),
         }
     }
@@ -110,6 +141,7 @@ fn main() -> ExitCode {
         "fig9" => run_fig9(&options),
         "fig11" => run_fig11(&options),
         "table2" => run_table2(&options),
+        "gpu-scale" => run_gpu_scale(&options),
         other => {
             eprintln!("sweep: unknown command `{other}`\n{}", usage());
             return ExitCode::FAILURE;
@@ -140,6 +172,49 @@ fn workload_axis(
         builder.workloads(QUICK_SUBSET)
     } else {
         builder.full_suite()
+    }
+}
+
+/// The `--sm-count` value for a fig9/fig11/table2 campaign (default 1),
+/// rejecting the gpu-scale-only `--sm-counts` flag so an axis request is
+/// never silently ignored.
+fn single_sm_count(options: &CliOptions) -> Result<usize, String> {
+    if options.sm_counts.is_some() {
+        return Err(
+            "--sm-counts is the gpu-scale axis; use --sm-count N for this campaign".to_string(),
+        );
+    }
+    Ok(options.sm_count.unwrap_or(1))
+}
+
+/// The `--sm-counts` axis for gpu-scale (default 1,2,4,8), rejecting the
+/// per-figure `--sm-count` flag so a single-count request is never silently
+/// ignored.
+fn sm_count_axis(options: &CliOptions) -> Result<Vec<usize>, String> {
+    if options.sm_count.is_some() {
+        return Err(
+            "--sm-count applies to fig9/fig11/table2; use --sm-counts A,B,.. for gpu-scale"
+                .to_string(),
+        );
+    }
+    Ok(options
+        .sm_counts
+        .clone()
+        .unwrap_or_else(|| vec![1, 2, 4, 8]))
+}
+
+/// The campaign (and report file) name for a figure at the requested SM
+/// count: the historical name at one SM — so report files keep their paths
+/// and their single-SM contents — and a `-smN` suffix for full-GPU
+/// variants so they never clobber the single-SM reports. (Cache *keys* are
+/// a separate concern: `sm_count` joined the key material this release, so
+/// pre-existing caches miss once and repopulate; see
+/// `CACHE_SCHEMA_VERSION`.)
+fn campaign_name(base: &str, sm_count: usize) -> String {
+    if sm_count == 1 {
+        base.to_string()
+    } else {
+        format!("{base}-sm{sm_count}")
     }
 }
 
@@ -211,9 +286,11 @@ const FIG9_ORGS: [Organization; 6] = [
 ];
 
 fn run_fig9(options: &CliOptions) -> Result<(), String> {
-    let spec = workload_axis(options, SweepSpec::builder("fig9"))
+    let sm_count = single_sm_count(options)?;
+    let spec = workload_axis(options, SweepSpec::builder(campaign_name("fig9", sm_count)))
         .organizations(FIG9_ORGS)
         .config_ids([6, 7])
+        .sm_counts([sm_count])
         .seed_mode(seed_mode(options))
         .normalize(true)
         .build();
@@ -258,13 +335,18 @@ const FIG11_ORGS: [Organization; 4] = [
 
 fn run_fig11(options: &CliOptions) -> Result<(), String> {
     let factors = ltrf_core::paper_latency_factors();
-    let spec = workload_axis(options, SweepSpec::builder("fig11"))
-        .organizations(FIG11_ORGS)
-        .config_ids([1])
-        .latency_factors(factors.iter().map(|&f| Some(f)))
-        .seed_mode(seed_mode(options))
-        .normalize(false)
-        .build();
+    let sm_count = single_sm_count(options)?;
+    let spec = workload_axis(
+        options,
+        SweepSpec::builder(campaign_name("fig11", sm_count)),
+    )
+    .organizations(FIG11_ORGS)
+    .config_ids([1])
+    .latency_factors(factors.iter().map(|&f| Some(f)))
+    .sm_counts([sm_count])
+    .seed_mode(seed_mode(options))
+    .normalize(false)
+    .build();
     let results = execute(&spec, options)?;
 
     // The paper's default allowed IPC loss (§6.3).
@@ -331,12 +413,17 @@ fn run_table2(options: &CliOptions) -> Result<(), String> {
         );
     }
 
-    let spec = workload_axis(options, SweepSpec::builder("table2"))
-        .organizations([Organization::Baseline, Organization::Ltrf])
-        .config_ids(1..=7)
-        .seed_mode(seed_mode(options))
-        .normalize(true)
-        .build();
+    let sm_count = single_sm_count(options)?;
+    let spec = workload_axis(
+        options,
+        SweepSpec::builder(campaign_name("table2", sm_count)),
+    )
+    .organizations([Organization::Baseline, Organization::Ltrf])
+    .config_ids(1..=7)
+    .sm_counts([sm_count])
+    .seed_mode(seed_mode(options))
+    .normalize(true)
+    .build();
     let results = execute(&spec, options)?;
 
     println!("\nMean normalized IPC per design point:");
@@ -361,6 +448,48 @@ fn run_table2(options: &CliOptions) -> Result<(), String> {
             "  #{config_id:<3} {:>8.3} {:>8.3}",
             mean(Organization::Baseline),
             mean(Organization::Ltrf)
+        );
+    }
+    Ok(())
+}
+
+// ---------------------------------------------------------------------------
+// gpu-scale — BL and LTRF across SM counts, contending for the shared L2/DRAM
+// ---------------------------------------------------------------------------
+
+fn run_gpu_scale(options: &CliOptions) -> Result<(), String> {
+    let sm_counts = sm_count_axis(options)?;
+    let spec = workload_axis(options, SweepSpec::builder("gpu-scale"))
+        .organizations([Organization::Baseline, Organization::Ltrf])
+        .config_ids([6])
+        .sm_counts(sm_counts.iter().copied())
+        .seed_mode(seed_mode(options))
+        .normalize(true)
+        .build();
+    let results = execute(&spec, options)?;
+
+    println!(
+        "\nGPU scaling on configuration #6 (grid weak-scaled with the SM count; \
+         means over workloads):"
+    );
+    println!(
+        "  {:<5} {:<6} {:>9} {:>9} {:>8} {:>9} {:>12}",
+        "SMs", "org", "IPC", "IPC/SM", "norm", "L2 hit", "DRAM row-hit"
+    );
+    for (sm_count, org, means) in ltrf_sweep::PointMeans::grouped(
+        &results,
+        &sm_counts,
+        &[Organization::Baseline, Organization::Ltrf],
+    ) {
+        println!(
+            "  {:<5} {:<6} {:>9.3} {:>9.3} {:>8.3} {:>8.1}% {:>11.1}%",
+            sm_count,
+            org.label(),
+            means.ipc,
+            means.ipc / sm_count.max(1) as f64,
+            means.normalized_ipc,
+            means.l2_hit_rate * 100.0,
+            means.dram_row_hit_rate * 100.0
         );
     }
     Ok(())

@@ -25,7 +25,11 @@ use crate::hash::{digest_to_seed, sha256, to_hex};
 use crate::spec::{SeedMode, SweepPoint, SweepSpec};
 
 /// Bump when the result encoding changes; old entries then simply miss.
-pub const CACHE_SCHEMA_VERSION: u32 = 1;
+///
+/// v2: `ExperimentConfig` gained `sm_count` (and `RunResult` the optional
+/// `gpu` stats), which changes every point's key material and encoding —
+/// all v1 entries are invalid, including their `PerPoint`-derived seeds.
+pub const CACHE_SCHEMA_VERSION: u32 = 2;
 
 /// Engine fingerprint mixed into every cache key: the workspace version.
 /// Changing simulator/compiler behaviour without bumping the workspace

@@ -3,7 +3,8 @@
 //! [`run_sweep`] takes a [`SweepSpec`] and evaluates every point across all
 //! cores: workers claim points from a shared queue (so uneven point costs
 //! balance out), each point runs under panic isolation, per-point seeds
-//! follow the spec's [`SeedMode`], and — when a cache is attached — outcomes
+//! follow the spec's [`SeedMode`](crate::SeedMode), and — when a cache is
+//! attached — outcomes
 //! are served from and stored to the content-addressed [`ResultCache`].
 
 use std::collections::HashMap;
@@ -19,7 +20,7 @@ use crate::pool::{panic_message, parallel_map};
 use crate::spec::{SweepPoint, SweepSpec};
 
 /// The data produced by a successfully evaluated point.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct PointData {
     /// The raw run result.
     pub result: RunResult,
@@ -137,6 +138,84 @@ impl SweepResults {
         self.records
             .iter()
             .filter_map(|r| r.outcome.data().map(|d| (r, d)))
+    }
+}
+
+/// Mean metrics over a set of successful points — the aggregation behind
+/// the GPU-scaling summaries (the `sweep gpu-scale` table and
+/// `ltrf-bench`'s `gpu_scale` rows share this so the two cannot drift).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PointMeans {
+    /// Number of points aggregated.
+    pub count: usize,
+    /// Mean (whole-GPU) IPC.
+    pub ipc: f64,
+    /// Mean IPC normalized to the baseline reference (points without
+    /// normalization contribute zero).
+    pub normalized_ipc: f64,
+    /// Mean L2 hit rate (the shared L2 for multi-SM points, the private
+    /// LLC for single-SM ones).
+    pub l2_hit_rate: f64,
+    /// Mean DRAM row-buffer hit rate.
+    pub dram_row_hit_rate: f64,
+}
+
+impl PointMeans {
+    /// The GPU-scaling pivot: means per `(sm_count, organization)` cell, in
+    /// the given axis order, skipping empty cells. Both the `sweep
+    /// gpu-scale` summary table and `ltrf-bench`'s `gpu_scale` rows are
+    /// this call, so the grouping logic cannot drift between them.
+    #[must_use]
+    pub fn grouped(
+        results: &SweepResults,
+        sm_counts: &[usize],
+        organizations: &[ltrf_core::Organization],
+    ) -> Vec<(usize, ltrf_core::Organization, PointMeans)> {
+        let mut cells = Vec::new();
+        for &sm_count in sm_counts {
+            for &org in organizations {
+                let means = PointMeans::over(
+                    results
+                        .successes()
+                        .filter(|(r, _)| {
+                            r.point.config.sm_count == sm_count
+                                && r.point.config.organization == org
+                        })
+                        .map(|(_, d)| d),
+                );
+                if let Some(means) = means {
+                    cells.push((sm_count, org, means));
+                }
+            }
+        }
+        cells
+    }
+
+    /// Averages the given points; `None` when the iterator is empty.
+    pub fn over<'a>(points: impl IntoIterator<Item = &'a PointData>) -> Option<Self> {
+        let mut means = PointMeans {
+            count: 0,
+            ipc: 0.0,
+            normalized_ipc: 0.0,
+            l2_hit_rate: 0.0,
+            dram_row_hit_rate: 0.0,
+        };
+        for data in points {
+            means.count += 1;
+            means.ipc += data.result.ipc;
+            means.normalized_ipc += data.normalized_ipc.unwrap_or(0.0);
+            means.l2_hit_rate += data.result.stats.memory.llc.hit_rate();
+            means.dram_row_hit_rate += data.result.stats.memory.dram.row_hit_rate();
+        }
+        if means.count == 0 {
+            return None;
+        }
+        let n = means.count as f64;
+        means.ipc /= n;
+        means.normalized_ipc /= n;
+        means.l2_hit_rate /= n;
+        means.dram_row_hit_rate /= n;
+        Some(means)
     }
 }
 

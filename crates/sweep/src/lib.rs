@@ -7,15 +7,19 @@
 //!
 //! * [`SweepSpec`] / [`SweepSpecBuilder`] enumerate arbitrary cross-products
 //!   over [`ltrf_core::Organization`], workload selections,
-//!   [`ltrf_core::ExperimentConfig`] design points, latency factors, and
+//!   [`ltrf_core::ExperimentConfig`] design points, latency factors, SM
+//!   counts (full-GPU campaigns with shared-L2/DRAM contention), and
 //!   memory-behaviour variants;
 //! * [`run_sweep`] shards the run matrix across all cores with deterministic
 //!   per-point seeds and panic isolation (one bad point yields an error
 //!   record, not a dead campaign);
 //! * [`ResultCache`] content-addresses outcomes (SHA-256 of the canonical
-//!   point encoding) so re-running a figure only recomputes changed points;
+//!   point encoding, which includes `sm_count`) so re-running a figure only
+//!   recomputes changed points;
 //! * [`report`] renders campaigns as JSON and CSV, and the `sweep` binary
-//!   reproduces Figure 9, Figure 11, and Table 2 end-to-end.
+//!   reproduces Figure 9, Figure 11, and Table 2 end-to-end — each at an
+//!   arbitrary SM count via `--sm-count`, plus the `gpu-scale` scaling
+//!   campaign over an SM-count axis (`--sm-counts 1,2,4,8`).
 //!
 //! The per-figure harness in `ltrf-bench` drives its parallelism through
 //! [`parallel_points`], so every `fig*`/`table*` binary rides this engine.
@@ -51,7 +55,8 @@ pub const CAMPAIGN_SEED: u64 = 0x17F2_2018;
 
 pub use cache::{point_key, PointKey, ResultCache, CACHE_SCHEMA_VERSION, ENGINE_FINGERPRINT};
 pub use executor::{
-    parallel_points, run_sweep, ExecutorOptions, PointData, PointOutcome, PointRecord, SweepResults,
+    parallel_points, run_sweep, ExecutorOptions, PointData, PointMeans, PointOutcome, PointRecord,
+    SweepResults,
 };
 pub use pool::{default_threads, parallel_map};
 pub use spec::{MemorySelection, SeedMode, SweepPoint, SweepSpec, SweepSpecBuilder};

@@ -50,7 +50,8 @@ fn memory_label(memory: MemorySelection) -> &'static str {
 pub fn to_csv(results: &SweepResults) -> String {
     let mut out = String::from(
         "workload,organization,config_id,latency_factor,registers_per_interval,active_warps,\
-         memory,seed,status,ipc,normalized_ipc,normalized_power,cache_hit_rate,from_cache,error\n",
+         sm_count,memory,seed,status,ipc,normalized_ipc,normalized_power,cache_hit_rate,\
+         l2_hit_rate,dram_row_hit_rate,from_cache,error\n",
     );
     for record in &results.records {
         let point = &record.point;
@@ -68,6 +69,7 @@ pub fn to_csv(results: &SweepResults) -> String {
             format!("{:.3}", point.config.latency_factor()),
             point.config.registers_per_interval.to_string(),
             point.config.active_warps.to_string(),
+            point.config.sm_count.to_string(),
             memory_label(point.memory).to_string(),
             record.seed.to_string(),
             status.to_string(),
@@ -75,6 +77,10 @@ pub fn to_csv(results: &SweepResults) -> String {
             float(data.and_then(|d| d.normalized_ipc)),
             float(data.and_then(|d| d.normalized_power)),
             float(data.and_then(|d| d.result.cache_hit_rate)),
+            // The aggregate stats carry the shared structures' totals for
+            // multi-SM points and the private LLC/DRAM for single-SM ones.
+            float(data.map(|d| d.result.stats.memory.llc.hit_rate())),
+            float(data.map(|d| d.result.stats.memory.dram.row_hit_rate())),
             record.from_cache.to_string(),
             csv_escape(&error),
         ];

@@ -4,8 +4,9 @@
 //! the list of [`SweepPoint`]s to evaluate. Specs are normally produced by
 //! [`SweepSpecBuilder`], which enumerates the cross-product of whatever axes
 //! the caller varies: register-file organization, workload, Table 2 design
-//! point, latency factor, registers per register-interval, active warps, and
-//! memory behaviour.
+//! point, latency factor, registers per register-interval, active warps,
+//! SM count (full-GPU campaigns with shared-L2/DRAM contention), and memory
+//! behaviour.
 
 use serde::{Deserialize, Serialize};
 
@@ -116,6 +117,7 @@ pub struct SweepSpecBuilder {
     latency_factors: Vec<Option<f64>>,
     registers_per_interval: Vec<usize>,
     active_warps: Vec<usize>,
+    sm_counts: Vec<usize>,
     memory: Vec<MemorySelection>,
 }
 
@@ -133,6 +135,7 @@ impl SweepSpecBuilder {
             latency_factors: vec![None],
             registers_per_interval: vec![16],
             active_warps: vec![8],
+            sm_counts: vec![1],
             memory: vec![MemorySelection::WorkloadDefault],
         }
     }
@@ -204,6 +207,15 @@ impl SweepSpecBuilder {
         self
     }
 
+    /// Sets the SM-count axis (full-GPU scaling campaigns; each point
+    /// simulates that many SMs over a shared L2/DRAM, `1` being the
+    /// classic single-SM configuration).
+    #[must_use]
+    pub fn sm_counts(mut self, counts: impl IntoIterator<Item = usize>) -> Self {
+        self.sm_counts = counts.into_iter().collect();
+        self
+    }
+
     /// Sets the memory-behaviour axis.
     #[must_use]
     pub fn memory(mut self, selections: impl IntoIterator<Item = MemorySelection>) -> Self {
@@ -231,6 +243,7 @@ impl SweepSpecBuilder {
             * self.latency_factors.len()
             * self.registers_per_interval.len()
             * self.active_warps.len()
+            * self.sm_counts.len()
             * self.memory.len();
         let mut points = Vec::with_capacity(axis_len);
         for workload in &self.workloads {
@@ -239,16 +252,20 @@ impl SweepSpecBuilder {
                     for &latency in &self.latency_factors {
                         for &rpi in &self.registers_per_interval {
                             for &warps in &self.active_warps {
-                                for &memory in &self.memory {
-                                    let mut config = ExperimentConfig::for_table2(org, config_id)
-                                        .with_registers_per_interval(rpi)
-                                        .with_active_warps(warps);
-                                    config.latency_factor_override = latency;
-                                    points.push(SweepPoint {
-                                        workload: workload.clone(),
-                                        memory,
-                                        config,
-                                    });
+                                for &sm_count in &self.sm_counts {
+                                    for &memory in &self.memory {
+                                        let mut config =
+                                            ExperimentConfig::for_table2(org, config_id)
+                                                .with_registers_per_interval(rpi)
+                                                .with_active_warps(warps)
+                                                .with_sm_count(sm_count);
+                                        config.latency_factor_override = latency;
+                                        points.push(SweepPoint {
+                                            workload: workload.clone(),
+                                            memory,
+                                            config,
+                                        });
+                                    }
                                 }
                             }
                         }
@@ -293,7 +310,24 @@ mod tests {
         let p = &spec.points[0];
         assert_eq!(p.config.organization, Organization::Ltrf);
         assert_eq!(p.config.mrf_config.id.0, 6);
+        assert_eq!(p.config.sm_count, 1);
         assert_eq!(p.memory, MemorySelection::WorkloadDefault);
+    }
+
+    #[test]
+    fn sm_count_axis_enumerates_gpu_scales() {
+        let spec = SweepSpec::builder("gpu-scale")
+            .workloads(["hotspot"])
+            .sm_counts([1, 2, 4, 8])
+            .build();
+        assert_eq!(spec.points.len(), 4);
+        let counts: Vec<usize> = spec.points.iter().map(|p| p.config.sm_count).collect();
+        assert_eq!(counts, vec![1, 2, 4, 8]);
+        // Distinct sm_counts are distinct cache identities.
+        assert_ne!(
+            spec.points[0].config.cache_key_material(),
+            spec.points[1].config.cache_key_material()
+        );
     }
 
     #[test]

@@ -125,6 +125,46 @@ fn editing_the_spec_only_recomputes_changed_points() {
 }
 
 #[test]
+fn gpu_scale_campaign_is_deterministic_and_caches_cleanly() {
+    // A miniature `sweep gpu-scale`: the SM-count axis over one workload,
+    // normalized, with the result cache attached.
+    let spec = SweepSpec::builder("gpu-scale-it")
+        .workloads(["hotspot"])
+        .organizations([Organization::Ltrf])
+        .config_ids([6])
+        .sm_counts([1, 2])
+        .seed_mode(SeedMode::Fixed(2018))
+        .build();
+    let cache_dir = temp_dir("gpu-scale");
+    let options = ExecutorOptions {
+        cache_dir: Some(cache_dir.clone()),
+        ..ExecutorOptions::default()
+    };
+    let cold = run_sweep(&spec, &options);
+    assert_eq!(cold.failure_count(), 0);
+    assert_eq!(cold.computed_count(), 2);
+    // The two SM counts are distinct cache entries with distinct results.
+    assert_ne!(cold.records[0].digest_hex, cold.records[1].digest_hex);
+    let one_sm = cold.records[0].outcome.data().unwrap();
+    let two_sm = cold.records[1].outcome.data().unwrap();
+    assert!(
+        one_sm.result.gpu.is_none(),
+        "sm_count=1 is the classic path"
+    );
+    assert_eq!(two_sm.result.gpu.as_ref().unwrap().sm_count, 2);
+    assert!(two_sm.result.ipc > one_sm.result.ipc);
+
+    // Warm rerun: 100% cache hits, bit-identical outcomes.
+    let warm = run_sweep(&spec, &options);
+    assert_eq!(warm.computed_count(), 0);
+    assert!((warm.cache_hit_rate() - 1.0).abs() < 1e-12);
+    for (cold_record, warm_record) in cold.records.iter().zip(&warm.records) {
+        assert_eq!(cold_record.outcome, warm_record.outcome);
+    }
+    let _ = std::fs::remove_dir_all(&cache_dir);
+}
+
+#[test]
 fn a_failing_point_does_not_poison_its_shard() {
     let mut spec = small_spec("isolation");
     // Splice in a point that cannot run (unknown workload) between valid

@@ -250,6 +250,19 @@ impl Workload {
     pub fn is_register_sensitive(&self) -> bool {
         self.spec.sensitivity == RegisterSensitivity::Sensitive
     }
+
+    /// The kernel with its grid scaled for an `sm_count`-SM GPU (weak
+    /// scaling: `sm_count` times as many CTAs, so every SM of a multi-SM
+    /// campaign receives the same per-SM work the single-SM campaigns run).
+    ///
+    /// The experiment runner applies the same scaling itself from an
+    /// `ExperimentConfig`'s `sm_count`; this helper exists for callers that
+    /// drive the simulator directly.
+    #[must_use]
+    pub fn kernel_for_sm_count(&self, sm_count: usize) -> Kernel {
+        self.kernel
+            .with_grid_scaled(u32::try_from(sm_count.max(1)).unwrap_or(u32::MAX))
+    }
 }
 
 #[cfg(test)]
@@ -295,6 +308,19 @@ mod tests {
         assert_eq!(
             stats.dynamic_instructions,
             s.dynamic_instructions_per_warp()
+        );
+    }
+
+    #[test]
+    fn kernel_for_sm_count_scales_the_grid() {
+        let w = Workload::from_spec(spec());
+        let scaled = w.kernel_for_sm_count(8);
+        assert_eq!(scaled.launch().blocks_per_grid, 8 * 4);
+        assert_eq!(scaled.launch().warps_per_block, 8);
+        assert_eq!(
+            w.kernel_for_sm_count(1).launch(),
+            w.kernel.launch(),
+            "one SM keeps the original grid"
         );
     }
 
