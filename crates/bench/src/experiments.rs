@@ -777,9 +777,84 @@ pub fn gpu_scale(selection: SuiteSelection, sm_counts: &[usize]) -> Vec<GpuScale
     .collect()
 }
 
+// ---------------------------------------------------------------------------
+// Generated-workload campaigns — random populations through the sweep engine
+// ---------------------------------------------------------------------------
+
+/// One organization's population means in a generated campaign.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct GenCampaignRow {
+    /// The organization under test.
+    pub organization: Organization,
+    /// Successful population members aggregated into this row.
+    pub points: usize,
+    /// Mean IPC over the population.
+    pub mean_ipc: f64,
+    /// Mean IPC normalized to the baseline on the same member.
+    pub mean_normalized_ipc: f64,
+    /// Mean L2 hit rate.
+    pub mean_l2_hit_rate: f64,
+    /// Mean DRAM row-buffer hit rate.
+    pub mean_dram_row_hit_rate: f64,
+}
+
+/// Runs a generated-workload campaign: baseline and LTRF on configuration #6
+/// over the first `population` members of the population seeded
+/// `population_seed`, at `sm_count` SMs. The same campaign definition as the
+/// `sweep gen-campaign` subcommand (both build their spec through
+/// [`ltrf_sweep::campaigns::gen_campaign_spec`], so the two cannot drift),
+/// aggregated through the shared [`PointMeans`] pivot. Like every figure
+/// function here it runs uncached and side-effect-free — the CLI is the
+/// cached entry point.
+#[must_use]
+pub fn gen_campaign(
+    population: usize,
+    population_seed: u64,
+    sm_count: usize,
+) -> Vec<GenCampaignRow> {
+    let params = ltrf_sweep::campaigns::GenCampaignParams {
+        population,
+        population_seed,
+        sm_count,
+        seed_mode: SeedMode::Fixed(SEED),
+        ..ltrf_sweep::campaigns::GenCampaignParams::default()
+    };
+    let spec = ltrf_sweep::campaigns::gen_campaign_spec(&params);
+    let results = run_figure_spec(&spec);
+    PointMeans::grouped(
+        &results,
+        &[sm_count],
+        &ltrf_sweep::campaigns::GEN_CAMPAIGN_ORGS,
+    )
+    .into_iter()
+    .map(|(_, organization, means)| GenCampaignRow {
+        organization,
+        points: means.count,
+        mean_ipc: means.ipc,
+        mean_normalized_ipc: means.normalized_ipc,
+        mean_l2_hit_rate: means.l2_hit_rate,
+        mean_dram_row_hit_rate: means.dram_row_hit_rate,
+    })
+    .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn gen_campaign_aggregates_both_organizations() {
+        let rows = gen_campaign(4, 7, 1);
+        assert_eq!(rows.len(), 2, "BL and LTRF rows");
+        for row in &rows {
+            assert_eq!(row.points, 4, "{row:?}");
+            assert!(row.mean_ipc > 0.0, "{row:?}");
+            assert!(row.mean_normalized_ipc > 0.0, "{row:?}");
+        }
+        // Same campaign parameters, same rows (the engine is deterministic
+        // and the population is index-stable).
+        assert_eq!(rows, gen_campaign(4, 7, 1));
+    }
 
     #[test]
     fn gpu_scale_reports_every_cell() {

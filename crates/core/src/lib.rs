@@ -68,7 +68,7 @@ pub use organizations::{
 };
 pub use overheads::{overhead_report, OverheadInputs, OverheadReport};
 pub use runner::{
-    run_baseline_reference, run_baseline_reference_at, run_experiment, run_normalized,
-    ExperimentConfig, NormalizedResult, RunResult,
+    run_baseline_reference, run_baseline_reference_at, run_experiment, run_experiment_via_gpu,
+    run_normalized, ExperimentConfig, NormalizedResult, RunResult,
 };
 pub use wcb::{WarpControlBlock, WcbStorageCost};

@@ -180,7 +180,22 @@ pub struct RunResult {
     pub cache_hit_rate: Option<f64>,
 }
 
+/// The LTRF compiler/runtime parameters of an experiment configuration.
+fn ltrf_params(config: &ExperimentConfig) -> LtrfParams {
+    LtrfParams {
+        registers_per_interval: config.registers_per_interval,
+        active_warps: config.active_warps,
+        liveness_aware: config.organization == Organization::LtrfPlus,
+    }
+}
+
 /// Runs one kernel under one experiment configuration.
+///
+/// With `sm_count == 1` this takes the classic single-SM path
+/// ([`ltrf_sim::simulate`], `gpu: None`); with more SMs it runs the
+/// whole-GPU engine. [`run_experiment_via_gpu`] forces the latter at any SM
+/// count, and the differential regression tests pin the two paths to each
+/// other at `sm_count == 1`.
 ///
 /// # Errors
 ///
@@ -191,53 +206,86 @@ pub fn run_experiment(
     seed: u64,
     config: &ExperimentConfig,
 ) -> Result<RunResult, CoreError> {
-    let sm = config.sm_config();
-    let params = LtrfParams {
-        registers_per_interval: config.registers_per_interval,
-        active_warps: config.active_warps,
-        liveness_aware: config.organization == Organization::LtrfPlus,
-    };
-    let sm_count = config.sm_count.max(1);
-    let (stats, gpu_stats) = if sm_count == 1 {
+    if config.sm_count.max(1) == 1 {
+        let sm = config.sm_config();
         let mut built = build_organization(
             config.organization,
             kernel,
             sm.regfile,
-            params,
+            ltrf_params(config),
             config.rfc_entries_per_warp,
         )?;
         let workload = SimWorkload::new(built.kernel.clone())
             .with_memory(memory)
             .with_seed(seed);
-        (simulate(&workload, &sm, built.model.as_mut()), None)
+        let stats = simulate(&workload, &sm, built.model.as_mut());
+        Ok(finish_run(stats, None, config))
     } else {
-        // Weak scaling: the grid *and* the memory footprint grow with the
-        // SM count, so every SM receives the same per-SM work — including
-        // the same per-warp streaming region size, and therefore the same
-        // intrinsic locality — as the single-SM campaigns. What changes
-        // with SM count is only the cross-SM contention for the shared
-        // L2/DRAM, which is the quantity under study.
-        let scaled = kernel.with_grid_scaled(u32::try_from(sm_count).unwrap_or(u32::MAX));
-        let scaled_memory = MemoryBehavior {
-            footprint_bytes: memory.footprint_bytes.saturating_mul(sm_count as u64),
-            ..memory
-        };
-        // One compilation, one model instance per SM.
-        let (compiled_kernel, mut models) = build_organization_fleet(
-            config.organization,
-            &scaled,
-            sm.regfile,
-            params,
-            config.rfc_entries_per_warp,
-            sm_count,
-        )?;
-        let workload = SimWorkload::new(compiled_kernel)
-            .with_memory(scaled_memory)
-            .with_seed(seed);
-        let gpu = config.gpu_config();
-        let gpu_stats = simulate_gpu(&workload, &gpu, &mut models);
-        (gpu_stats.aggregate(), Some(gpu_stats))
+        run_experiment_via_gpu(kernel, memory, seed, config)
+    }
+}
+
+/// Runs one kernel through the whole-GPU engine ([`ltrf_sim::simulate_gpu`])
+/// regardless of `sm_count` — with one SM this exercises the engine's
+/// single-SM delegation and its statistics aggregation instead of calling
+/// [`ltrf_sim::simulate`] directly.
+///
+/// The result must be bit-identical to [`run_experiment`]'s at
+/// `sm_count == 1` apart from the `gpu` provenance field (which this path
+/// always populates); the differential regression test in
+/// `tests/differential_gpu.rs` asserts exactly that across a generated
+/// workload population.
+///
+/// # Errors
+///
+/// Propagates compiler failures for software-managed organizations.
+pub fn run_experiment_via_gpu(
+    kernel: &Kernel,
+    memory: MemoryBehavior,
+    seed: u64,
+    config: &ExperimentConfig,
+) -> Result<RunResult, CoreError> {
+    let sm = config.sm_config();
+    let sm_count = config.sm_count.max(1);
+    // Weak scaling: the grid *and* the memory footprint grow with the
+    // SM count, so every SM receives the same per-SM work — including
+    // the same per-warp streaming region size, and therefore the same
+    // intrinsic locality — as the single-SM campaigns. What changes
+    // with SM count is only the cross-SM contention for the shared
+    // L2/DRAM, which is the quantity under study. (At one SM both
+    // scalings are the identity.)
+    let scaled = kernel.with_grid_scaled(u32::try_from(sm_count).unwrap_or(u32::MAX));
+    let scaled_memory = MemoryBehavior {
+        footprint_bytes: memory.footprint_bytes.saturating_mul(sm_count as u64),
+        ..memory
     };
+    // One compilation, one model instance per SM.
+    let (compiled_kernel, mut models) = build_organization_fleet(
+        config.organization,
+        &scaled,
+        sm.regfile,
+        ltrf_params(config),
+        config.rfc_entries_per_warp,
+        sm_count,
+    )?;
+    let workload = SimWorkload::new(compiled_kernel)
+        .with_memory(scaled_memory)
+        .with_seed(seed);
+    let gpu = config.gpu_config();
+    let gpu_stats = simulate_gpu(&workload, &gpu, &mut models);
+    Ok(finish_run(gpu_stats.aggregate(), Some(gpu_stats), config))
+}
+
+/// Folds simulation statistics into a [`RunResult`]: IPC, the register-file
+/// power evaluation, and the cache-hit provenance — shared by the single-SM
+/// and whole-GPU paths so the reporting conventions cannot drift.
+fn finish_run(
+    stats: SimStats,
+    gpu_stats: Option<GpuStats>,
+    config: &ExperimentConfig,
+) -> RunResult {
+    let sm = config.sm_config();
+    let sm_count = config.sm_count.max(1);
     let rfc_kib = if matches!(
         config.organization,
         Organization::Baseline | Organization::Ideal
@@ -262,14 +310,14 @@ pub fn run_experiment(
         cycles: stats.regfile_accesses.cycles,
     };
     let power = power_model.evaluate(&per_sm_counts);
-    Ok(RunResult {
+    RunResult {
         organization: config.organization,
         ipc: stats.ipc(),
         cache_hit_rate: stats.register_cache_hit_rate,
         stats,
         gpu: gpu_stats,
         power,
-    })
+    }
 }
 
 /// Runs the reference baseline the paper normalizes against: the conventional

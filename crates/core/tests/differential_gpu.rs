@@ -1,0 +1,89 @@
+//! Differential regression test: the whole-GPU engine at `sm_count == 1`
+//! against the single-SM engine.
+//!
+//! PR 2 introduced `ltrf_sim::simulate_gpu` with the guarantee that a one-SM
+//! GPU reproduces the validated single-SM path bit for bit (same residency
+//! rule, same private hierarchy, statistics aggregation included). That
+//! guarantee was originally checked by hand — one CSV comparison of `sweep
+//! fig9` output before and after the change. This test automates it the way
+//! VADL-style multi-path simulators do: a generated workload population wide
+//! enough to hit every organization, loop shape, and memory profile, with
+//! every member asserted *bit-identical* across the two paths (exact `f64`
+//! equality, not tolerance comparison — the paths must take the same
+//! floating-point operations in the same order).
+
+use ltrf_core::{
+    run_experiment, run_experiment_via_gpu, ExperimentConfig, Organization, RunResult,
+};
+use ltrf_workloads::{GeneratorConfig, WorkloadGenerator};
+
+/// Population size: large enough to cycle every organization several times
+/// over diverse register pressures, loop nests, and memory profiles.
+const POPULATION: usize = 32;
+
+/// Bounds trimmed for test wall-clock time while keeping the space diverse
+/// (register pressures from insensitive to sensitive, both loop levels, all
+/// memory profiles).
+fn test_bounds() -> GeneratorConfig {
+    GeneratorConfig {
+        min_regs: 12,
+        max_regs: 96,
+        max_outer_trips: 4,
+        max_inner_trips: 10,
+        max_body_alu: 10,
+        max_body_loads: 4,
+    }
+}
+
+#[test]
+fn gpu_engine_at_one_sm_is_bit_identical_to_the_single_sm_engine() {
+    let population = WorkloadGenerator::population_with_config(0xD1FF, POPULATION, test_bounds());
+    let organizations = Organization::all();
+    for (i, workload) in population.iter().enumerate() {
+        let org = organizations[i % organizations.len()];
+        let config = ExperimentConfig::for_table2(org, 6);
+        assert_eq!(config.sm_count, 1);
+        let seed = 1000 + i as u64;
+        let memory = workload.memory();
+
+        let single = run_experiment(&workload.kernel, memory, seed, &config)
+            .expect("single-SM path runs every generated member");
+        let via_gpu = run_experiment_via_gpu(&workload.kernel, memory, seed, &config)
+            .expect("GPU path runs every generated member");
+
+        // The classic path records no GPU provenance; the forced path
+        // always does, and its one-SM run must carry the very same
+        // statistics.
+        assert!(single.gpu.is_none());
+        let gpu = via_gpu
+            .gpu
+            .as_ref()
+            .unwrap_or_else(|| panic!("member {i}: forced GPU path must carry GpuStats"));
+        assert_eq!(gpu.sm_count, 1, "member {i}");
+        assert_eq!(
+            gpu.per_sm.len(),
+            1,
+            "member {i}: one SM reports one per-SM entry"
+        );
+        assert_eq!(
+            gpu.per_sm[0],
+            single.stats,
+            "member {i} ({}, {org}): the delegated SM's statistics drifted",
+            workload.name()
+        );
+
+        // Bit-identical RunResults apart from the provenance field: every
+        // aggregate statistic, the IPC, the power breakdown, and the cache
+        // hit rate — all under exact equality.
+        let flattened = RunResult {
+            gpu: None,
+            ..via_gpu.clone()
+        };
+        assert_eq!(
+            flattened,
+            single,
+            "member {i} ({}, {org}): GPU path at sm_count=1 diverged from the single-SM engine",
+            workload.name()
+        );
+    }
+}

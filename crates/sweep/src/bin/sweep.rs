@@ -2,10 +2,11 @@
 //! parallel, cached campaign engine.
 //!
 //! ```text
-//! sweep fig9      [OPTIONS]   six organizations × suite on configurations #6/#7
-//! sweep fig11     [OPTIONS]   latency-tolerance matrix (orgs × latency factors)
-//! sweep table2    [OPTIONS]   the seven design points, swept under BL and LTRF
-//! sweep gpu-scale [OPTIONS]   BL/LTRF full-GPU scaling over shared L2/DRAM
+//! sweep fig9         [OPTIONS]   six organizations × suite on configurations #6/#7
+//! sweep fig11        [OPTIONS]   latency-tolerance matrix (orgs × latency factors)
+//! sweep table2       [OPTIONS]   the seven design points, swept under BL and LTRF
+//! sweep gpu-scale    [OPTIONS]   BL/LTRF full-GPU scaling over shared L2/DRAM
+//! sweep gen-campaign [OPTIONS]   BL/LTRF over a seeded random kernel population
 //!
 //! OPTIONS:
 //!   --quick             four-workload subset instead of the full suite
@@ -17,8 +18,16 @@
 //!   --per-point-seeds   derive a distinct seed per point instead of the
 //!                       paper's fixed campaign seed
 //!   --sm-count N        simulate N SMs sharing the L2/DRAM (fig9, fig11,
-//!                       table2; default 1, the classic single-SM campaigns)
+//!                       table2, gen-campaign; default 1, the classic
+//!                       single-SM campaigns)
 //!   --sm-counts A,B,..  the SM-count axis of gpu-scale (default 1,2,4,8)
+//!
+//! gen-campaign OPTIONS (generator bounds default to GeneratorConfig::default):
+//!   --population N      population size             (default: 64)
+//!   --seed S            population seed             (default: the campaign seed)
+//!   --min-regs R / --max-regs R          registers-per-thread bounds
+//!   --max-outer-trips N / --max-inner-trips N   loop trip-count bounds
+//!   --max-body-alu N / --max-body-loads N       inner-loop body mix bounds
 //! ```
 
 use std::collections::BTreeMap;
@@ -27,11 +36,12 @@ use std::process::ExitCode;
 use std::time::Instant;
 
 use ltrf_core::Organization;
+use ltrf_sweep::campaigns::{self, campaign_name, GenCampaignParams, FIG9_ORGS, GEN_CAMPAIGN_ORGS};
 use ltrf_sweep::{
     report, run_sweep, ExecutorOptions, SeedMode, SweepResults, SweepSpec, CAMPAIGN_SEED,
 };
 use ltrf_tech::configs::RegFileConfig;
-use ltrf_workloads::QUICK_SUBSET;
+use ltrf_workloads::{GeneratorConfig, QUICK_SUBSET};
 
 #[derive(Debug)]
 struct CliOptions {
@@ -41,12 +51,24 @@ struct CliOptions {
     force: bool,
     threads: Option<usize>,
     per_point_seeds: bool,
-    /// SM count applied to the fig9/fig11/table2 campaigns (`--sm-count`);
-    /// `None` = the flag was not given (defaults to 1).
+    /// SM count applied to the fig9/fig11/table2/gen-campaign campaigns
+    /// (`--sm-count`); `None` = the flag was not given (defaults to 1).
     sm_count: Option<usize>,
     /// The SM-count axis of the gpu-scale campaign (`--sm-counts`);
     /// `None` = the flag was not given (defaults to 1,2,4,8).
     sm_counts: Option<Vec<usize>>,
+    /// Population size of gen-campaign (`--population`).
+    population: Option<usize>,
+    /// Population seed of gen-campaign (`--seed`).
+    population_seed: Option<u64>,
+    /// Generator-bound overrides of gen-campaign (each `None` keeps the
+    /// corresponding `GeneratorConfig::default()` bound).
+    min_regs: Option<u16>,
+    max_regs: Option<u16>,
+    max_outer_trips: Option<u32>,
+    max_inner_trips: Option<u32>,
+    max_body_alu: Option<usize>,
+    max_body_loads: Option<usize>,
 }
 
 impl Default for CliOptions {
@@ -60,14 +82,35 @@ impl Default for CliOptions {
             per_point_seeds: false,
             sm_count: None,
             sm_counts: None,
+            population: None,
+            population_seed: None,
+            min_regs: None,
+            max_regs: None,
+            max_outer_trips: None,
+            max_inner_trips: None,
+            max_body_alu: None,
+            max_body_loads: None,
         }
     }
 }
 
 fn usage() -> &'static str {
-    "usage: sweep <fig9|fig11|table2|gpu-scale> [--quick] [--out DIR] [--cache DIR] \
-     [--no-cache] [--force] [--threads N] [--per-point-seeds] [--sm-count N] \
-     [--sm-counts A,B,..]"
+    "usage: sweep <fig9|fig11|table2|gpu-scale|gen-campaign> [--quick] [--out DIR] \
+     [--cache DIR] [--no-cache] [--force] [--threads N] [--per-point-seeds] \
+     [--sm-count N] [--sm-counts A,B,..] [--population N] [--seed S] \
+     [--min-regs R] [--max-regs R] [--max-outer-trips N] [--max-inner-trips N] \
+     [--max-body-alu N] [--max-body-loads N]"
+}
+
+/// Parses the value after a `--flag VALUE` pair.
+fn parse_value<T: std::str::FromStr>(flag: &str, value: Option<&String>) -> Result<T, String>
+where
+    T::Err: std::fmt::Display,
+{
+    value
+        .ok_or_else(|| format!("{flag} needs a value"))?
+        .parse()
+        .map_err(|e| format!("{flag}: {e}"))
 }
 
 fn parse_options(args: &[String]) -> Result<CliOptions, String> {
@@ -93,19 +136,11 @@ fn parse_options(args: &[String]) -> Result<CliOptions, String> {
                 );
             }
             "--threads" => {
-                let n: usize = iter
-                    .next()
-                    .ok_or("--threads needs a count")?
-                    .parse()
-                    .map_err(|e| format!("--threads: {e}"))?;
+                let n: usize = parse_value("--threads", iter.next())?;
                 options.threads = Some(n.max(1));
             }
             "--sm-count" => {
-                let n: usize = iter
-                    .next()
-                    .ok_or("--sm-count needs a count")?
-                    .parse()
-                    .map_err(|e| format!("--sm-count: {e}"))?;
+                let n: usize = parse_value("--sm-count", iter.next())?;
                 options.sm_count = Some(n.max(1));
             }
             "--sm-counts" => {
@@ -117,6 +152,22 @@ fn parse_options(args: &[String]) -> Result<CliOptions, String> {
                     return Err("--sm-counts needs positive counts".to_string());
                 }
                 options.sm_counts = Some(counts);
+            }
+            "--population" => options.population = Some(parse_value("--population", iter.next())?),
+            "--seed" => options.population_seed = Some(parse_value("--seed", iter.next())?),
+            "--min-regs" => options.min_regs = Some(parse_value("--min-regs", iter.next())?),
+            "--max-regs" => options.max_regs = Some(parse_value("--max-regs", iter.next())?),
+            "--max-outer-trips" => {
+                options.max_outer_trips = Some(parse_value("--max-outer-trips", iter.next())?)
+            }
+            "--max-inner-trips" => {
+                options.max_inner_trips = Some(parse_value("--max-inner-trips", iter.next())?)
+            }
+            "--max-body-alu" => {
+                options.max_body_alu = Some(parse_value("--max-body-alu", iter.next())?)
+            }
+            "--max-body-loads" => {
+                options.max_body_loads = Some(parse_value("--max-body-loads", iter.next())?)
             }
             other => return Err(format!("unknown option `{other}`\n{}", usage())),
         }
@@ -142,6 +193,7 @@ fn main() -> ExitCode {
         "fig11" => run_fig11(&options),
         "table2" => run_table2(&options),
         "gpu-scale" => run_gpu_scale(&options),
+        "gen-campaign" => run_gen_campaign(&options),
         other => {
             eprintln!("sweep: unknown command `{other}`\n{}", usage());
             return ExitCode::FAILURE;
@@ -164,20 +216,30 @@ fn seed_mode(options: &CliOptions) -> SeedMode {
     }
 }
 
+/// The CLI's workload selection (`--quick` subset or the full evaluated
+/// suite), as names — the single source of truth behind both
+/// [`workload_axis`] and the campaigns-module constructors.
+fn workload_names(options: &CliOptions) -> Vec<String> {
+    if options.quick {
+        QUICK_SUBSET.iter().map(|w| w.to_string()).collect()
+    } else {
+        ltrf_workloads::evaluated_suite()
+            .iter()
+            .map(|w| w.name().to_string())
+            .collect()
+    }
+}
+
 fn workload_axis(
     options: &CliOptions,
     builder: ltrf_sweep::SweepSpecBuilder,
 ) -> ltrf_sweep::SweepSpecBuilder {
-    if options.quick {
-        builder.workloads(QUICK_SUBSET)
-    } else {
-        builder.full_suite()
-    }
+    builder.workloads(workload_names(options))
 }
 
-/// The `--sm-count` value for a fig9/fig11/table2 campaign (default 1),
-/// rejecting the gpu-scale-only `--sm-counts` flag so an axis request is
-/// never silently ignored.
+/// The `--sm-count` value for a fig9/fig11/table2/gen-campaign run
+/// (default 1), rejecting the gpu-scale-only `--sm-counts` flag so an axis
+/// request is never silently ignored.
 fn single_sm_count(options: &CliOptions) -> Result<usize, String> {
     if options.sm_counts.is_some() {
         return Err(
@@ -185,6 +247,28 @@ fn single_sm_count(options: &CliOptions) -> Result<usize, String> {
         );
     }
     Ok(options.sm_count.unwrap_or(1))
+}
+
+/// Rejects the gen-campaign-only flags on suite campaigns, so a generator
+/// request is never silently ignored.
+fn reject_generator_flags(options: &CliOptions, command: &str) -> Result<(), String> {
+    let gen_flags: [(&str, bool); 8] = [
+        ("--population", options.population.is_some()),
+        ("--seed", options.population_seed.is_some()),
+        ("--min-regs", options.min_regs.is_some()),
+        ("--max-regs", options.max_regs.is_some()),
+        ("--max-outer-trips", options.max_outer_trips.is_some()),
+        ("--max-inner-trips", options.max_inner_trips.is_some()),
+        ("--max-body-alu", options.max_body_alu.is_some()),
+        ("--max-body-loads", options.max_body_loads.is_some()),
+    ];
+    if let Some((flag, _)) = gen_flags.iter().find(|(_, given)| *given) {
+        return Err(format!(
+            "{flag} configures the generated population; it does not apply to `{command}` \
+             (use `sweep gen-campaign`)"
+        ));
+    }
+    Ok(())
 }
 
 /// The `--sm-counts` axis for gpu-scale (default 1,2,4,8), rejecting the
@@ -201,21 +285,6 @@ fn sm_count_axis(options: &CliOptions) -> Result<Vec<usize>, String> {
         .sm_counts
         .clone()
         .unwrap_or_else(|| vec![1, 2, 4, 8]))
-}
-
-/// The campaign (and report file) name for a figure at the requested SM
-/// count: the historical name at one SM — so report files keep their paths
-/// and their single-SM contents — and a `-smN` suffix for full-GPU
-/// variants so they never clobber the single-SM reports. (Cache *keys* are
-/// a separate concern: `sm_count` joined the key material this release, so
-/// pre-existing caches miss once and repopulate; see
-/// `CACHE_SCHEMA_VERSION`.)
-fn campaign_name(base: &str, sm_count: usize) -> String {
-    if sm_count == 1 {
-        base.to_string()
-    } else {
-        format!("{base}-sm{sm_count}")
-    }
 }
 
 /// Runs a campaign, writes the JSON/CSV reports, prints the summary, and
@@ -274,26 +343,12 @@ fn execute(spec: &SweepSpec, options: &CliOptions) -> Result<SweepResults, Strin
 // fig9 — six organizations × the suite on configurations #6 and #7
 // ---------------------------------------------------------------------------
 
-/// The organizations of Figure 9 (everything except the §6.6 strand
-/// ablation).
-const FIG9_ORGS: [Organization; 6] = [
-    Organization::Baseline,
-    Organization::Rfc,
-    Organization::Shrf,
-    Organization::Ltrf,
-    Organization::LtrfPlus,
-    Organization::Ideal,
-];
-
 fn run_fig9(options: &CliOptions) -> Result<(), String> {
+    reject_generator_flags(options, "fig9")?;
     let sm_count = single_sm_count(options)?;
-    let spec = workload_axis(options, SweepSpec::builder(campaign_name("fig9", sm_count)))
-        .organizations(FIG9_ORGS)
-        .config_ids([6, 7])
-        .sm_counts([sm_count])
-        .seed_mode(seed_mode(options))
-        .normalize(true)
-        .build();
+    // The canonical constructor (shared with the golden-file regression
+    // test, which pins this campaign's CSV byte for byte).
+    let spec = campaigns::fig9_spec(workload_names(options), sm_count, seed_mode(options));
     let results = execute(&spec, options)?;
 
     for config_id in [6u8, 7] {
@@ -334,6 +389,7 @@ const FIG11_ORGS: [Organization; 4] = [
 ];
 
 fn run_fig11(options: &CliOptions) -> Result<(), String> {
+    reject_generator_flags(options, "fig11")?;
     let factors = ltrf_core::paper_latency_factors();
     let sm_count = single_sm_count(options)?;
     let spec = workload_axis(
@@ -396,6 +452,7 @@ fn run_fig11(options: &CliOptions) -> Result<(), String> {
 // ---------------------------------------------------------------------------
 
 fn run_table2(options: &CliOptions) -> Result<(), String> {
+    reject_generator_flags(options, "table2")?;
     println!("Table 2: register-file design points (calibrated)");
     println!(
         "  {:<4} {:<10} {:>9} {:>8} {:>8} {:>9}",
@@ -458,6 +515,7 @@ fn run_table2(options: &CliOptions) -> Result<(), String> {
 // ---------------------------------------------------------------------------
 
 fn run_gpu_scale(options: &CliOptions) -> Result<(), String> {
+    reject_generator_flags(options, "gpu-scale")?;
     let sm_counts = sm_count_axis(options)?;
     let spec = workload_axis(options, SweepSpec::builder("gpu-scale"))
         .organizations([Organization::Baseline, Organization::Ltrf])
@@ -490,6 +548,102 @@ fn run_gpu_scale(options: &CliOptions) -> Result<(), String> {
             means.normalized_ipc,
             means.l2_hit_rate * 100.0,
             means.dram_row_hit_rate * 100.0
+        );
+    }
+    Ok(())
+}
+
+// ---------------------------------------------------------------------------
+// gen-campaign — BL and LTRF over a seeded random kernel population
+// ---------------------------------------------------------------------------
+
+/// Assembles the generator bounds from the CLI overrides, with friendly
+/// errors instead of the library's campaign-definition panics.
+fn generator_config(options: &CliOptions) -> Result<GeneratorConfig, String> {
+    let defaults = GeneratorConfig::default();
+    let config = GeneratorConfig {
+        min_regs: options.min_regs.unwrap_or(defaults.min_regs),
+        max_regs: options.max_regs.unwrap_or(defaults.max_regs),
+        max_outer_trips: options.max_outer_trips.unwrap_or(defaults.max_outer_trips),
+        max_inner_trips: options.max_inner_trips.unwrap_or(defaults.max_inner_trips),
+        max_body_alu: options.max_body_alu.unwrap_or(defaults.max_body_alu),
+        max_body_loads: options.max_body_loads.unwrap_or(defaults.max_body_loads),
+    };
+    config
+        .validate()
+        .map_err(|complaint| format!("generator bounds: {complaint}"))?;
+    Ok(config)
+}
+
+fn run_gen_campaign(options: &CliOptions) -> Result<(), String> {
+    if options.quick {
+        return Err(
+            "--quick selects suite workloads; size a gen-campaign with --population N".to_string(),
+        );
+    }
+    let sm_count = single_sm_count(options)?;
+    let params = GenCampaignParams {
+        population: options.population.unwrap_or(64),
+        population_seed: options.population_seed.unwrap_or(CAMPAIGN_SEED),
+        config: generator_config(options)?,
+        sm_count,
+        seed_mode: seed_mode(options),
+    };
+    if params.population == 0 {
+        return Err("--population must be at least 1".to_string());
+    }
+    println!(
+        "generated campaign: population {} from seed {} (regs {}..={}, trips <=({}x{}), \
+         body <=({} alu, {} loads)), BL vs LTRF on configuration #6",
+        params.population,
+        params.population_seed,
+        params.config.min_regs,
+        params.config.max_regs,
+        params.config.max_outer_trips,
+        params.config.max_inner_trips,
+        params.config.max_body_alu,
+        params.config.max_body_loads
+    );
+    let spec = campaigns::gen_campaign_spec(&params);
+    let results = execute(&spec, options)?;
+
+    println!("\nPopulation means (IPC normalized to baseline on the same member):");
+    println!(
+        "  {:<6} {:>7} {:>9} {:>8} {:>9} {:>12}",
+        "org", "points", "IPC", "norm", "L2 hit", "DRAM row-hit"
+    );
+    for (_, org, means) in
+        ltrf_sweep::PointMeans::grouped(&results, &[sm_count], &GEN_CAMPAIGN_ORGS)
+    {
+        println!(
+            "  {:<6} {:>7} {:>9.3} {:>8.3} {:>8.1}% {:>11.1}%",
+            org.label(),
+            means.count,
+            means.ipc,
+            means.normalized_ipc,
+            means.l2_hit_rate * 100.0,
+            means.dram_row_hit_rate * 100.0
+        );
+    }
+    // Where LTRF wins and loses across the population (the tails are what a
+    // fixed 14-benchmark suite cannot show).
+    let mut ltrf_norms: Vec<(u32, f64)> = results
+        .successes()
+        .filter(|(r, _)| r.point.config.organization == Organization::Ltrf)
+        .filter_map(|(r, d)| {
+            let g = r.point.generated?;
+            Some((g.index, d.normalized_ipc?))
+        })
+        .collect();
+    if !ltrf_norms.is_empty() {
+        ltrf_norms.sort_by(|a, b| a.1.total_cmp(&b.1));
+        let (worst_index, worst) = ltrf_norms[0];
+        let (best_index, best) = *ltrf_norms.last().expect("non-empty");
+        let wins = ltrf_norms.iter().filter(|(_, n)| *n > 1.0).count();
+        println!(
+            "  LTRF speeds up {wins}/{} members; member #{best_index} best ({best:.3}x), \
+             member #{worst_index} worst ({worst:.3}x)",
+            ltrf_norms.len()
         );
     }
     Ok(())

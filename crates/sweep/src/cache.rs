@@ -51,9 +51,17 @@ pub struct PointKey {
 }
 
 /// Computes a point's identity under a spec's policies.
+///
+/// Generated-population points additionally serialize their full
+/// [`GeneratedWorkload`](crate::spec::GeneratedWorkload) identity — the
+/// population seed, member index, and every generator bound — so a warm rerun
+/// of the same campaign hits 100% while changing the seed or any bound
+/// misses. Suite points carry no such entry, which keeps their key material
+/// (and therefore existing cache populations) byte-identical to before the
+/// generated axis existed.
 #[must_use]
 pub fn point_key(spec: &SweepSpec, point: &SweepPoint) -> PointKey {
-    let material = Value::Object(vec![
+    let mut fields = vec![
         (
             "version".to_string(),
             Value::UInt(u64::from(CACHE_SCHEMA_VERSION)),
@@ -73,8 +81,11 @@ pub fn point_key(spec: &SweepSpec, point: &SweepPoint) -> PointKey {
             "config".to_string(),
             ExperimentConfig::cache_key_value(&point.config),
         ),
-    ])
-    .to_json();
+    ];
+    if let Some(generated) = &point.generated {
+        fields.push(("generated".to_string(), Serialize::to_value(generated)));
+    }
+    let material = Value::Object(fields).to_json();
     let digest = sha256(material.as_bytes());
     let seed = match spec.seed_mode {
         SeedMode::Fixed(seed) => seed,
@@ -228,6 +239,53 @@ mod tests {
             .seed_mode(SeedMode::Fixed(7))
             .build();
         assert!(spec.points.iter().all(|p| point_key(&spec, p).seed == 7));
+    }
+
+    #[test]
+    fn generated_identity_is_key_material() {
+        use ltrf_workloads::GeneratorConfig;
+
+        let spec = SweepSpec::builder("gen-keys")
+            .generated_population(7, 2, GeneratorConfig::default())
+            .seed_mode(SeedMode::Fixed(1))
+            .build();
+        let a = point_key(&spec, &spec.points[0]);
+        assert!(
+            a.material.contains("\"generated\""),
+            "population points serialize their identity: {}",
+            a.material
+        );
+        // Same campaign, different population seed: every digest changes.
+        let reseeded = SweepSpec::builder("gen-keys")
+            .generated_population(8, 2, GeneratorConfig::default())
+            .seed_mode(SeedMode::Fixed(1))
+            .build();
+        assert_ne!(
+            point_key(&spec, &spec.points[0]).digest_hex,
+            point_key(&reseeded, &reseeded.points[0]).digest_hex
+        );
+        // Changing one generator bound changes the digest too.
+        let widened = SweepSpec::builder("gen-keys")
+            .generated_population(
+                7,
+                2,
+                GeneratorConfig {
+                    max_regs: 96,
+                    ..GeneratorConfig::default()
+                },
+            )
+            .seed_mode(SeedMode::Fixed(1))
+            .build();
+        assert_ne!(
+            point_key(&spec, &spec.points[0]).digest_hex,
+            point_key(&widened, &widened.points[0]).digest_hex
+        );
+        // Suite points' material is unchanged by the new axis (no
+        // "generated" entry), so pre-existing caches keep hitting.
+        let suite = test_spec();
+        assert!(!point_key(&suite, &suite.points[0])
+            .material
+            .contains("generated"));
     }
 
     #[test]

@@ -1,0 +1,194 @@
+//! Canonical campaign constructors with more than one consumer.
+//!
+//! The `sweep` CLI, the `ltrf-bench` harness, and the regression tests must
+//! agree — byte for byte — on what "the Figure 9 campaign" or "a generated
+//! campaign" means: the golden-file test pins the CLI's CSV output, and the
+//! bench harness's `gen_campaign` rows must reproduce the CLI's numbers.
+//! Keeping the spec constructors here makes that agreement structural
+//! rather than a convention.
+
+use ltrf_core::Organization;
+use ltrf_workloads::GeneratorConfig;
+
+use crate::spec::{SeedMode, SweepSpec};
+use crate::CAMPAIGN_SEED;
+
+/// The organizations of Figure 9 (everything except the §6.6 strand
+/// ablation).
+pub const FIG9_ORGS: [Organization; 6] = [
+    Organization::Baseline,
+    Organization::Rfc,
+    Organization::Shrf,
+    Organization::Ltrf,
+    Organization::LtrfPlus,
+    Organization::Ideal,
+];
+
+/// The organizations a generated campaign compares (the paper's headline
+/// pair: the conventional register file and LTRF).
+pub const GEN_CAMPAIGN_ORGS: [Organization; 2] = [Organization::Baseline, Organization::Ltrf];
+
+/// The campaign (and report file) name for a figure at the requested SM
+/// count: the historical name at one SM — so report files keep their paths
+/// and their single-SM contents — and a `-smN` suffix for full-GPU variants
+/// so they never clobber the single-SM reports.
+#[must_use]
+pub fn campaign_name(base: &str, sm_count: usize) -> String {
+    if sm_count == 1 {
+        base.to_string()
+    } else {
+        format!("{base}-sm{sm_count}")
+    }
+}
+
+/// The Figure 9 campaign: [`FIG9_ORGS`] × the given workloads on
+/// configurations #6 and #7, normalized — exactly what `sweep fig9` runs
+/// (and what the golden-file regression test pins).
+#[must_use]
+pub fn fig9_spec<S: Into<String>>(
+    workloads: impl IntoIterator<Item = S>,
+    sm_count: usize,
+    seed_mode: SeedMode,
+) -> SweepSpec {
+    SweepSpec::builder(campaign_name("fig9", sm_count))
+        .workloads(workloads)
+        .organizations(FIG9_ORGS)
+        .config_ids([6, 7])
+        .sm_counts([sm_count])
+        .seed_mode(seed_mode)
+        .normalize(true)
+        .build()
+}
+
+/// Parameters of a generated-workload campaign.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GenCampaignParams {
+    /// Population size (members 0..population of the population).
+    pub population: usize,
+    /// Seed of the generated population (this is the *generator* seed; the
+    /// simulation seeds come from `seed_mode`).
+    pub population_seed: u64,
+    /// Generator bounds the population is drawn under.
+    pub config: GeneratorConfig,
+    /// SMs per point (populations weak-scale with the SM count exactly as
+    /// suite workloads do — the runner scales each member's grid and
+    /// footprint from `ExperimentConfig::sm_count`).
+    pub sm_count: usize,
+    /// Simulation seeding policy.
+    pub seed_mode: SeedMode,
+}
+
+impl Default for GenCampaignParams {
+    fn default() -> Self {
+        GenCampaignParams {
+            population: 64,
+            population_seed: CAMPAIGN_SEED,
+            config: GeneratorConfig::default(),
+            sm_count: 1,
+            seed_mode: SeedMode::Fixed(CAMPAIGN_SEED),
+        }
+    }
+}
+
+impl GenCampaignParams {
+    /// The campaign (and report file) name: sized, seeded, and — when the
+    /// generator bounds differ from the defaults — fingerprinted, so
+    /// differently parameterized campaigns never clobber each other's
+    /// reports.
+    #[must_use]
+    pub fn name(&self) -> String {
+        let mut base = format!(
+            "gen-campaign-n{}-s{}",
+            self.population, self.population_seed
+        );
+        if self.config != GeneratorConfig::default() {
+            // Eight hex digits of the bounds' canonical encoding: enough to
+            // separate report files; the full bounds remain readable in the
+            // JSON report and the cache-key material.
+            let digest = crate::hash::sha256(
+                serde::Serialize::to_value(&self.config)
+                    .to_json()
+                    .as_bytes(),
+            );
+            base.push_str(&format!("-c{}", &crate::hash::to_hex(&digest)[..8]));
+        }
+        campaign_name(&base, self.sm_count)
+    }
+}
+
+/// A generated-workload campaign: [`GEN_CAMPAIGN_ORGS`] × the population on
+/// configuration #6, normalized — exactly what `sweep gen-campaign` runs and
+/// what `ltrf-bench`'s `gen_campaign` experiment aggregates.
+///
+/// # Panics
+///
+/// Panics if the generator bounds fail [`GeneratorConfig::validate`] or the
+/// population is empty (the CLI validates first and reports a friendly
+/// error).
+#[must_use]
+pub fn gen_campaign_spec(params: &GenCampaignParams) -> SweepSpec {
+    SweepSpec::builder(params.name())
+        .organizations(GEN_CAMPAIGN_ORGS)
+        .config_ids([6])
+        .generated_population(params.population_seed, params.population, params.config)
+        .sm_counts([params.sm_count])
+        .seed_mode(params.seed_mode)
+        .normalize(true)
+        .build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig9_spec_matches_the_published_matrix() {
+        let spec = fig9_spec(["hotspot", "btree"], 1, SeedMode::Fixed(CAMPAIGN_SEED));
+        assert_eq!(spec.name, "fig9");
+        assert_eq!(spec.points.len(), 2 * 6 * 2, "workloads x orgs x configs");
+        assert!(spec.normalize);
+        assert_eq!(
+            fig9_spec(["hotspot"], 4, SeedMode::Fixed(1)).name,
+            "fig9-sm4"
+        );
+    }
+
+    #[test]
+    fn gen_campaign_spec_enumerates_the_population() {
+        let params = GenCampaignParams {
+            population: 5,
+            population_seed: 7,
+            ..GenCampaignParams::default()
+        };
+        let spec = gen_campaign_spec(&params);
+        assert_eq!(spec.name, "gen-campaign-n5-s7");
+        assert_eq!(spec.points.len(), 5 * GEN_CAMPAIGN_ORGS.len());
+        assert!(spec.points.iter().all(|p| p.generated.is_some()));
+        let multi_sm = GenCampaignParams {
+            sm_count: 2,
+            ..params
+        };
+        assert_eq!(multi_sm.name(), "gen-campaign-n5-s7-sm2");
+    }
+
+    #[test]
+    fn non_default_bounds_fingerprint_the_campaign_name() {
+        let default_bounds = GenCampaignParams::default();
+        assert_eq!(default_bounds.name(), "gen-campaign-n64-s401743896");
+        let narrowed = GenCampaignParams {
+            config: GeneratorConfig {
+                max_regs: 96,
+                ..GeneratorConfig::default()
+            },
+            ..GenCampaignParams::default()
+        };
+        let name = narrowed.name();
+        assert!(
+            name.starts_with("gen-campaign-n64-s401743896-c"),
+            "bounds fingerprint suffix: {name}"
+        );
+        assert_ne!(name, default_bounds.name());
+        // Stable: the same bounds always fingerprint identically.
+        assert_eq!(name, narrowed.name());
+    }
+}

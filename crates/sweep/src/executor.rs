@@ -305,17 +305,29 @@ fn make_record(
 }
 
 /// Evaluates one point, converting panics into [`PointOutcome::Panicked`].
+///
+/// Suite points resolve their workload by name against the evaluated suite;
+/// generated points rematerialize theirs from the point's
+/// [`GeneratedWorkload`](crate::spec::GeneratedWorkload) identity (an
+/// index-stable draw, so the same identity always yields the same kernel).
+/// Everything downstream — the runner, normalization against the baseline at
+/// the same SM count, and power reporting — is identical for both.
 fn evaluate_point(
     spec: &SweepSpec,
     point: &SweepPoint,
     suite: &HashMap<&str, Workload>,
     seed: u64,
 ) -> PointOutcome {
-    let Some(workload) = suite.get(point.workload.as_str()) else {
-        return PointOutcome::Error(format!(
-            "unknown workload `{}` (not in the evaluated suite)",
-            point.workload
-        ));
+    let generated = point.generated.as_ref().map(|g| g.materialize());
+    let workload = match (&generated, suite.get(point.workload.as_str())) {
+        (Some(generated), _) => generated,
+        (None, Some(suite_workload)) => suite_workload,
+        (None, None) => {
+            return PointOutcome::Error(format!(
+                "unknown workload `{}` (not in the evaluated suite)",
+                point.workload
+            ));
+        }
     };
     let memory = point.memory.behavior(workload);
     let run = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {

@@ -6,7 +6,9 @@
 //! turns that into a first-class, declarative, parallel campaign driver:
 //!
 //! * [`SweepSpec`] / [`SweepSpecBuilder`] enumerate arbitrary cross-products
-//!   over [`ltrf_core::Organization`], workload selections,
+//!   over [`ltrf_core::Organization`], workload selections (the evaluated
+//!   suite and/or generated populations — see
+//!   [`SweepSpecBuilder::generated_population`]),
 //!   [`ltrf_core::ExperimentConfig`] design points, latency factors, SM
 //!   counts (full-GPU campaigns with shared-L2/DRAM contention), and
 //!   memory-behaviour variants;
@@ -19,7 +21,12 @@
 //! * [`report`] renders campaigns as JSON and CSV, and the `sweep` binary
 //!   reproduces Figure 9, Figure 11, and Table 2 end-to-end — each at an
 //!   arbitrary SM count via `--sm-count`, plus the `gpu-scale` scaling
-//!   campaign over an SM-count axis (`--sm-counts 1,2,4,8`).
+//!   campaign over an SM-count axis (`--sm-counts 1,2,4,8`) and
+//!   `gen-campaign`, which sweeps a seeded random population of hundreds of
+//!   generated kernels (`--population`, `--seed`, generator bounds as
+//!   flags) far beyond the paper's fixed suite;
+//! * [`campaigns`] holds the canonical spec constructors shared by the CLI,
+//!   the bench harness, and the golden/differential regression tests.
 //!
 //! The per-figure harness in `ltrf-bench` drives its parallelism through
 //! [`parallel_points`], so every `fig*`/`table*` binary rides this engine.
@@ -41,6 +48,7 @@
 #![warn(missing_docs)]
 
 pub mod cache;
+pub mod campaigns;
 pub mod executor;
 pub mod hash;
 pub mod pool;
@@ -54,9 +62,12 @@ pub mod spec;
 pub const CAMPAIGN_SEED: u64 = 0x17F2_2018;
 
 pub use cache::{point_key, PointKey, ResultCache, CACHE_SCHEMA_VERSION, ENGINE_FINGERPRINT};
+pub use campaigns::GenCampaignParams;
 pub use executor::{
     parallel_points, run_sweep, ExecutorOptions, PointData, PointMeans, PointOutcome, PointRecord,
     SweepResults,
 };
 pub use pool::{default_threads, parallel_map};
-pub use spec::{MemorySelection, SeedMode, SweepPoint, SweepSpec, SweepSpecBuilder};
+pub use spec::{
+    GeneratedWorkload, MemorySelection, SeedMode, SweepPoint, SweepSpec, SweepSpecBuilder,
+};

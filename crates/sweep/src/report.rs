@@ -46,10 +46,14 @@ fn memory_label(memory: MemorySelection) -> &'static str {
 }
 
 /// Renders the campaign as CSV text.
+///
+/// Generated-population points fill the `gen_seed`/`gen_index` columns with
+/// their population identity; suite points leave them empty.
 #[must_use]
 pub fn to_csv(results: &SweepResults) -> String {
     let mut out = String::from(
-        "workload,organization,config_id,latency_factor,registers_per_interval,active_warps,\
+        "workload,gen_seed,gen_index,organization,config_id,latency_factor,\
+         registers_per_interval,active_warps,\
          sm_count,memory,seed,status,ipc,normalized_ipc,normalized_power,cache_hit_rate,\
          l2_hit_rate,dram_row_hit_rate,from_cache,error\n",
     );
@@ -64,6 +68,14 @@ pub fn to_csv(results: &SweepResults) -> String {
         let float = |v: Option<f64>| v.map(|f| format!("{f:.6}")).unwrap_or_default();
         let row = [
             csv_escape(&point.workload),
+            point
+                .generated
+                .map(|g| g.population_seed.to_string())
+                .unwrap_or_default(),
+            point
+                .generated
+                .map(|g| g.index.to_string())
+                .unwrap_or_default(),
             point.config.organization.label().to_string(),
             point.config.mrf_config.id.0.to_string(),
             format!("{:.3}", point.config.latency_factor()),

@@ -3,16 +3,16 @@
 //! A [`SweepSpec`] names a campaign, fixes its seeding policy, and carries
 //! the list of [`SweepPoint`]s to evaluate. Specs are normally produced by
 //! [`SweepSpecBuilder`], which enumerates the cross-product of whatever axes
-//! the caller varies: register-file organization, workload, Table 2 design
-//! point, latency factor, registers per register-interval, active warps,
-//! SM count (full-GPU campaigns with shared-L2/DRAM contention), and memory
-//! behaviour.
+//! the caller varies: register-file organization, workload (named suite
+//! benchmarks and/or a generated population), Table 2 design point, latency
+//! factor, registers per register-interval, active warps, SM count (full-GPU
+//! campaigns with shared-L2/DRAM contention), and memory behaviour.
 
 use serde::{Deserialize, Serialize};
 
 use ltrf_core::{ExperimentConfig, Organization};
 use ltrf_sim::MemoryBehavior;
-use ltrf_workloads::Workload;
+use ltrf_workloads::{GeneratorConfig, Workload, WorkloadGenerator};
 
 /// Memory behaviour selection for a point.
 ///
@@ -66,12 +66,45 @@ impl SeedMode {
     }
 }
 
+/// The identity of one member of a generated workload population: the
+/// population seed, the member index, and the full generator bounds.
+///
+/// This triple (plus nothing else) determines the member's kernel — the
+/// executor rematerializes it via
+/// [`WorkloadGenerator::population_member`], and the cache serializes it
+/// into the point's key material exactly as suite points serialize their
+/// workload names. Equal identities therefore always hit warm cache entries,
+/// and changing the seed or any generator bound misses.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GeneratedWorkload {
+    /// Seed of the population the member is drawn from.
+    pub population_seed: u64,
+    /// Member index within the population (index-stable: independent of the
+    /// population size it was enumerated with).
+    pub index: u32,
+    /// The generator bounds the population was drawn under.
+    pub config: GeneratorConfig,
+}
+
+impl GeneratedWorkload {
+    /// Materializes the member's workload (spec + built kernel).
+    #[must_use]
+    pub fn materialize(&self) -> Workload {
+        WorkloadGenerator::population_member(self.population_seed, self.index, self.config)
+    }
+}
+
 /// One point of the design space: a workload under an experiment
 /// configuration and a memory behaviour.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct SweepPoint {
-    /// Workload name (resolved against the evaluated suite at run time).
+    /// Workload name. For suite points this resolves against the evaluated
+    /// suite at run time; for generated points it is the member's stable
+    /// display name (the kernel itself comes from `generated`).
     pub workload: String,
+    /// The generated-population identity, when this point's workload is a
+    /// population member rather than a suite benchmark.
+    pub generated: Option<GeneratedWorkload>,
     /// Memory behaviour selection.
     pub memory: MemorySelection,
     /// The full experiment configuration (organization, Table 2 design
@@ -113,6 +146,7 @@ pub struct SweepSpecBuilder {
     normalize: bool,
     organizations: Vec<Organization>,
     workloads: Vec<String>,
+    generated_population: Option<(u64, usize, GeneratorConfig)>,
     config_ids: Vec<u8>,
     latency_factors: Vec<Option<f64>>,
     registers_per_interval: Vec<usize>,
@@ -131,6 +165,7 @@ impl SweepSpecBuilder {
             normalize: true,
             organizations: vec![Organization::Ltrf],
             workloads: Vec::new(),
+            generated_population: None,
             config_ids: vec![6],
             latency_factors: vec![None],
             registers_per_interval: vec![16],
@@ -176,6 +211,37 @@ impl SweepSpecBuilder {
             .map(|w| w.name().to_string())
             .collect();
         self.workloads(names)
+    }
+
+    /// Sets the workload axis to a generated population: the first `count`
+    /// members of the population seeded `population_seed`, drawn under
+    /// `config`. May be combined with named suite workloads; the population
+    /// members are enumerated after them.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config` fails [`GeneratorConfig::validate`] or `count` is
+    /// zero — static campaign-definition bugs, not runtime conditions.
+    #[must_use]
+    pub fn generated_population(
+        mut self,
+        population_seed: u64,
+        count: usize,
+        config: GeneratorConfig,
+    ) -> Self {
+        if let Err(complaint) = config.validate() {
+            panic!(
+                "sweep `{}`: invalid generator bounds: {complaint}",
+                self.name
+            );
+        }
+        assert!(
+            count > 0,
+            "sweep `{}` has an empty generated population",
+            self.name
+        );
+        self.generated_population = Some((population_seed, count, config));
+        self
     }
 
     /// Sets the Table 2 design-point axis (ids in `1..=7`).
@@ -227,18 +293,40 @@ impl SweepSpecBuilder {
     ///
     /// # Panics
     ///
-    /// Panics if the workload axis is empty (there is nothing to run) or a
-    /// config id is outside `1..=7` — both are static campaign-definition
-    /// bugs, not runtime conditions.
+    /// Panics if the workload axis is empty (no named workloads and no
+    /// generated population — there is nothing to run) or a config id is
+    /// outside `1..=7` — both are static campaign-definition bugs, not
+    /// runtime conditions.
     #[must_use]
     pub fn build(self) -> SweepSpec {
+        // The workload axis: named suite benchmarks first, then the
+        // generated population's members (names only — the executor
+        // materializes kernels from the identity when the point runs).
+        let mut workload_axis: Vec<(String, Option<GeneratedWorkload>)> = self
+            .workloads
+            .iter()
+            .map(|name| (name.clone(), None))
+            .collect();
+        if let Some((population_seed, count, config)) = self.generated_population {
+            for index in 0..count {
+                let index = u32::try_from(index).expect("population fits in u32 indices");
+                workload_axis.push((
+                    WorkloadGenerator::member_name(index).to_string(),
+                    Some(GeneratedWorkload {
+                        population_seed,
+                        index,
+                        config,
+                    }),
+                ));
+            }
+        }
         assert!(
-            !self.workloads.is_empty(),
-            "sweep `{}` has no workloads; call workloads() or full_suite()",
+            !workload_axis.is_empty(),
+            "sweep `{}` has no workloads; call workloads(), full_suite(), or generated_population()",
             self.name
         );
         let axis_len = self.organizations.len()
-            * self.workloads.len()
+            * workload_axis.len()
             * self.config_ids.len()
             * self.latency_factors.len()
             * self.registers_per_interval.len()
@@ -246,7 +334,7 @@ impl SweepSpecBuilder {
             * self.sm_counts.len()
             * self.memory.len();
         let mut points = Vec::with_capacity(axis_len);
-        for workload in &self.workloads {
+        for (workload, generated) in &workload_axis {
             for &org in &self.organizations {
                 for &config_id in &self.config_ids {
                     for &latency in &self.latency_factors {
@@ -262,6 +350,7 @@ impl SweepSpecBuilder {
                                         config.latency_factor_override = latency;
                                         points.push(SweepPoint {
                                             workload: workload.clone(),
+                                            generated: *generated,
                                             memory,
                                             config,
                                         });
@@ -334,5 +423,50 @@ mod tests {
     #[should_panic(expected = "no workloads")]
     fn empty_workload_axis_is_rejected() {
         let _ = SweepSpec::builder("empty").build();
+    }
+
+    #[test]
+    fn generated_population_axis_enumerates_members() {
+        let spec = SweepSpec::builder("gen")
+            .organizations([Organization::Baseline, Organization::Ltrf])
+            .generated_population(7, 3, GeneratorConfig::default())
+            .build();
+        assert_eq!(spec.points.len(), 3 * 2);
+        for point in &spec.points {
+            let g = point.generated.expect("population points carry identity");
+            assert_eq!(g.population_seed, 7);
+            assert!(g.index < 3);
+            assert_eq!(point.workload, WorkloadGenerator::member_name(g.index));
+        }
+        // Identities are index-distinct within an organization.
+        let indices: Vec<u32> = spec
+            .points
+            .iter()
+            .filter(|p| p.config.organization == Organization::Ltrf)
+            .map(|p| p.generated.unwrap().index)
+            .collect();
+        assert_eq!(indices, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn suite_and_population_axes_combine() {
+        let spec = SweepSpec::builder("mixed")
+            .workloads(["hotspot"])
+            .generated_population(7, 2, GeneratorConfig::default())
+            .build();
+        assert_eq!(spec.points.len(), 3);
+        assert!(spec.points[0].generated.is_none());
+        assert!(spec.points[1].generated.is_some());
+        assert!(spec.points[2].generated.is_some());
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid generator bounds")]
+    fn degenerate_generator_bounds_are_rejected() {
+        let bad = GeneratorConfig {
+            min_regs: 2,
+            ..GeneratorConfig::default()
+        };
+        let _ = SweepSpec::builder("bad").generated_population(1, 4, bad);
     }
 }

@@ -1,0 +1,102 @@
+//! Property-based tests for the workload generator: every generated
+//! specification respects its [`GeneratorConfig`] bounds, and equal seeds
+//! yield equal populations — through both the streaming API and the
+//! index-stable `population()` API.
+
+use ltrf_workloads::{GeneratorConfig, WorkloadGenerator, WorkloadSpec};
+use proptest::prelude::*;
+
+/// Arbitrary *valid* generator bounds (the space `validate()` accepts),
+/// including degenerate-but-legal single-value ranges like
+/// `min_regs == max_regs`.
+fn arb_config() -> impl Strategy<Value = GeneratorConfig> {
+    (
+        (8u16..=128, 0u16..=64),
+        1u32..=6,
+        1u32..=12,
+        2usize..=12,
+        0usize..=4,
+    )
+        .prop_map(
+            |((min_regs, extra_regs), max_outer, max_inner, max_alu, max_loads)| GeneratorConfig {
+                min_regs,
+                max_regs: min_regs + extra_regs,
+                max_outer_trips: max_outer,
+                max_inner_trips: max_inner,
+                max_body_alu: max_alu,
+                max_body_loads: max_loads,
+            },
+        )
+}
+
+/// The bound checks shared by both properties.
+fn assert_within_bounds(spec: &WorkloadSpec, cfg: &GeneratorConfig) {
+    prop_assert!(
+        (cfg.min_regs..=cfg.max_regs).contains(&spec.regs_per_thread),
+        "regs {} outside [{}, {}]",
+        spec.regs_per_thread,
+        cfg.min_regs,
+        cfg.max_regs
+    );
+    prop_assert!((1..=cfg.max_outer_trips).contains(&spec.outer_trips));
+    prop_assert!((1..=cfg.max_inner_trips).contains(&spec.inner_trips));
+    prop_assert!((2..=cfg.max_body_alu).contains(&spec.body_alu));
+    prop_assert!(spec.body_loads <= cfg.max_body_loads);
+    prop_assert!(spec.body_shared <= 4);
+    prop_assert!(spec.body_sfu <= 2);
+    prop_assert!(spec.unconstrained_regs_per_thread >= spec.regs_per_thread);
+    prop_assert!((4..=32).contains(&spec.blocks_per_grid));
+    prop_assert_eq!(spec.warps_per_block, 8);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Streaming API: every drawn spec respects the configured bounds and
+    /// builds a non-empty kernel.
+    #[test]
+    fn streaming_specs_respect_bounds(seed in 0u64..1_000_000, cfg in arb_config()) {
+        let mut generator = WorkloadGenerator::with_config(seed, cfg);
+        for _ in 0..8 {
+            let workload = generator.next_workload();
+            assert_within_bounds(&workload.spec, &cfg);
+            prop_assert!(workload.kernel.static_instruction_count() > 0);
+            prop_assert!(workload.spec.dynamic_instructions_per_warp() > 0);
+        }
+    }
+
+    /// Population API: members respect the bounds, equal seeds yield equal
+    /// populations, and membership is index-stable (a member is the same
+    /// workload no matter the population size it was enumerated with).
+    #[test]
+    fn populations_respect_bounds_and_determinism(seed in 0u64..1_000_000, cfg in arb_config()) {
+        let population = WorkloadGenerator::population_with_config(seed, 6, cfg);
+        for workload in &population {
+            assert_within_bounds(&workload.spec, &cfg);
+        }
+        // Equal seeds, equal populations.
+        let again = WorkloadGenerator::population_with_config(seed, 6, cfg);
+        for (a, b) in population.iter().zip(&again) {
+            prop_assert_eq!(a.spec, b.spec);
+        }
+        // Index stability: a shorter enumeration is a strict prefix.
+        let prefix = WorkloadGenerator::population_with_config(seed, 3, cfg);
+        for (i, w) in prefix.iter().enumerate() {
+            prop_assert_eq!(w.spec, population[i].spec);
+            prop_assert_eq!(
+                w.spec,
+                WorkloadGenerator::population_member(seed, i as u32, cfg).spec
+            );
+        }
+    }
+
+    /// Streaming determinism: equal seeds yield equal streams.
+    #[test]
+    fn equal_seeds_yield_equal_streams(seed in 0u64..1_000_000, cfg in arb_config()) {
+        let a: Vec<_> = WorkloadGenerator::with_config(seed, cfg).generate(5);
+        let b: Vec<_> = WorkloadGenerator::with_config(seed, cfg).generate(5);
+        for (x, y) in a.iter().zip(&b) {
+            prop_assert_eq!(x.spec, y.spec);
+        }
+    }
+}
