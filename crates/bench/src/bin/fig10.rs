@@ -1,4 +1,10 @@
 //! Regenerates Figure 10: register-file power on configuration #7.
+//!
+//! A thin wrapper over the canonical `ltrf_sweep::campaigns::fig10_spec`
+//! campaign — the configuration-#7 slice of the `sweep power` design-point
+//! sweep (the cached entry point with CSV/JSON reports and calibration
+//! knobs). Set `LTRF_CACHE_DIR` to the CLI's cache directory to serve
+//! shared points from it instead of recomputing.
 
 use ltrf_bench::{figure10, format_table, mean, SuiteSelection};
 

@@ -1,5 +1,10 @@
 //! Regenerates Figure 12: LTRF IPC vs. register-file latency for different
 //! register-interval sizes.
+//!
+//! A thin wrapper over the canonical `ltrf_sweep::campaigns::fig12_spec`
+//! campaign — the same matrix `sweep fig12` runs (the cached entry point
+//! with CSV/JSON reports). Set `LTRF_CACHE_DIR` to the CLI's cache
+//! directory to serve shared points from it instead of recomputing.
 
 use ltrf_bench::{figure12, format_table, SuiteSelection};
 

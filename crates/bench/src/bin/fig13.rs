@@ -1,5 +1,10 @@
 //! Regenerates Figure 13: LTRF IPC vs. register-file latency for different
 //! active-warp counts.
+//!
+//! A thin wrapper over the canonical `ltrf_sweep::campaigns::fig13_spec`
+//! campaign — the same matrix `sweep fig13` runs (the cached entry point
+//! with CSV/JSON reports). Set `LTRF_CACHE_DIR` to the CLI's cache
+//! directory to serve shared points from it instead of recomputing.
 
 use ltrf_bench::{figure13, format_table, SuiteSelection};
 

@@ -1,5 +1,10 @@
 //! Regenerates Figure 14: IPC vs. register-file latency for BL, RFC, SHRF,
 //! LTRF (strand), and LTRF (register-interval).
+//!
+//! A thin wrapper over the canonical `ltrf_sweep::campaigns::fig14_spec`
+//! campaign — the same matrix `sweep fig14` runs (the cached entry point
+//! with CSV/JSON reports). Set `LTRF_CACHE_DIR` to the CLI's cache
+//! directory to serve shared points from it instead of recomputing.
 
 use ltrf_bench::{figure14, format_table, SuiteSelection};
 

@@ -82,17 +82,47 @@ const SEED: u64 = ltrf_sweep::CAMPAIGN_SEED;
 /// Starts a sweep-spec builder over the given workloads with the harness's
 /// fixed campaign seed.
 fn figure_sweep(name: &str, workloads: &[Workload]) -> SweepSpecBuilder {
-    let names: Vec<String> = workloads.iter().map(|w| w.name().to_string()).collect();
     SweepSpec::builder(name)
-        .workloads(names)
+        .workloads(names(workloads))
         .seed_mode(SeedMode::Fixed(SEED))
 }
 
-/// Runs a figure's spec on the in-process engine (all cores, no cache: the
-/// `sweep` CLI is the cached entry point; figure functions stay
-/// side-effect-free).
+/// The workloads' names, in order — what the canonical
+/// [`ltrf_sweep::campaigns`] constructors take.
+fn names(workloads: &[Workload]) -> Vec<String> {
+    workloads.iter().map(|w| w.name().to_string()).collect()
+}
+
+/// The harness's seeding policy: the fixed campaign seed shared with the
+/// `sweep` CLI (cache-key compatible by construction).
+fn harness_seed_mode() -> SeedMode {
+    SeedMode::Fixed(SEED)
+}
+
+/// The executor options every figure function runs with: all worker
+/// threads, and — when the `LTRF_CACHE_DIR` environment variable is set —
+/// the `sweep` CLI's content-addressed result cache attached at that
+/// directory.
+///
+/// The harness and the CLI build their campaigns from the same
+/// [`ltrf_sweep::campaigns`] constructors with the same fixed campaign
+/// seed, so their points have identical cache identities: a bench run with
+/// `LTRF_CACHE_DIR` pointed at a CLI-populated cache (the CLI's `--cache`
+/// directory, `.sweep-cache` by default) warm-hits every shared point, and
+/// vice versa. Unset, figure functions stay side-effect-free (uncached),
+/// the historical behaviour.
+#[must_use]
+pub fn figure_executor_options() -> ExecutorOptions {
+    ExecutorOptions {
+        cache_dir: std::env::var_os("LTRF_CACHE_DIR").map(std::path::PathBuf::from),
+        ..ExecutorOptions::default()
+    }
+}
+
+/// Runs a figure's spec on the in-process engine via
+/// [`figure_executor_options`].
 fn run_figure_spec(spec: &SweepSpec) -> SweepResults {
-    let results = run_sweep(spec, &ExecutorOptions::default());
+    let results = run_sweep(spec, &figure_executor_options());
     for record in results.records.iter().filter(|r| r.outcome.is_failure()) {
         eprintln!(
             "{}: point `{}`/{} failed: {:?}",
@@ -424,19 +454,14 @@ pub struct Fig10Row {
     pub ltrf_plus: f64,
 }
 
-/// Runs the Figure 10 power experiment on configuration #7 (DWM).
+/// Runs the Figure 10 power experiment on configuration #7 (DWM), through
+/// the canonical [`ltrf_sweep::campaigns::fig10_spec`] campaign — the
+/// configuration-#7 slice of the `sweep power` design-point sweep, so the
+/// two share cache entries.
 #[must_use]
 pub fn figure10(selection: SuiteSelection) -> Vec<Fig10Row> {
     let workloads = suite(selection);
-    let spec = figure_sweep("fig10", &workloads)
-        .organizations([
-            Organization::Rfc,
-            Organization::Ltrf,
-            Organization::LtrfPlus,
-        ])
-        .config_ids([7])
-        .normalize(true)
-        .build();
+    let spec = ltrf_sweep::campaigns::fig10_spec(names(&workloads), 1, harness_seed_mode());
     let index = ResultIndex::new(&run_figure_spec(&spec));
     rows_per_workload(&workloads, |w| {
         let norm = |org: Organization| index.at(w.name(), org, 7).and_then(|d| d.normalized_power);
@@ -469,21 +494,6 @@ pub struct Fig11Row {
     pub ltrf_plus: f64,
 }
 
-/// The latency-sweep matrix shared by Figures 11–14: organizations ×
-/// latency factors (and optionally interval-size/warp axes) on
-/// configuration #1, un-normalized.
-fn latency_matrix(
-    name: &str,
-    workloads: &[Workload],
-    organizations: impl IntoIterator<Item = Organization>,
-) -> SweepSpecBuilder {
-    figure_sweep(name, workloads)
-        .organizations(organizations)
-        .config_ids([1])
-        .latency_factors(paper_latency_factors().into_iter().map(Some))
-        .normalize(false)
-}
-
 /// Largest factor whose relative IPC stays within `allowed_loss`, via the
 /// core [`ltrf_core::LatencySweep`] definition (the single source of truth
 /// for the tolerance metric). `None` if any factor's point is missing.
@@ -512,14 +522,9 @@ fn max_tolerable(
 /// uses 5%, with 1% and 10% variants in the text).
 #[must_use]
 pub fn figure11(selection: SuiteSelection, allowed_loss: f64) -> Vec<Fig11Row> {
-    let organizations = [
-        Organization::Baseline,
-        Organization::Rfc,
-        Organization::Ltrf,
-        Organization::LtrfPlus,
-    ];
     let workloads = suite(selection);
-    let spec = latency_matrix("fig11", &workloads, organizations).build();
+    // The canonical Figure 11 matrix (shared with `sweep fig11`).
+    let spec = ltrf_sweep::campaigns::fig11_spec(names(&workloads), 1, harness_seed_mode());
     let index = ResultIndex::new(&run_figure_spec(&spec));
     let factors = paper_latency_factors();
     rows_per_workload(&workloads, |w| {
@@ -555,132 +560,84 @@ pub struct SweepSeries {
     pub points: Vec<(f64, f64)>,
 }
 
-/// Averages each latency factor's relative IPC over the workloads that have
-/// complete curves for `base`, so every point of the series is a mean over
-/// the same workload set (a workload with any failed point is excluded from
-/// the whole series, not just from the factors that failed).
-fn averaged_series(
-    index: &ResultIndex,
-    workloads: &[Workload],
-    base: &ExperimentConfig,
+/// Builds a labelled series from the engine's canonical
+/// [`ltrf_sweep::relative_ipc_series`] aggregation (shared with the `sweep
+/// fig12|fig13|fig14` summary tables, so the relative-IPC convention cannot
+/// drift between the two entry points). A workload with any failed point is
+/// excluded from the whole series, not just from the factors that failed;
+/// if *no* workload has a complete curve, the series is all zeros with a
+/// note on stderr.
+fn labelled_series(
+    results: &SweepResults,
     factors: &[f64],
     label: String,
+    select: impl Fn(&ltrf_sweep::PointRecord) -> bool,
 ) -> SweepSeries {
-    let curves: Vec<Vec<f64>> = workloads
-        .iter()
-        .filter_map(|w| {
-            let curve = relative_curve(index, w.name(), base, factors);
-            if curve.is_none() {
-                eprintln!(
-                    "`{}` excluded from series `{label}`: incomplete latency curve",
-                    w.name()
-                );
-            }
-            curve
-        })
-        .collect();
-    let points = factors
-        .iter()
-        .enumerate()
-        .map(|(i, &factor)| {
-            let mean = curves.iter().map(|c| c[i]).sum::<f64>() / (curves.len().max(1)) as f64;
-            (factor, mean)
-        })
-        .collect();
-    SweepSeries { label, points }
-}
-
-/// One workload's relative-IPC curve over `factors` (reference looked up
-/// once). `None` when the reference or any factor's point is missing.
-fn relative_curve(
-    index: &ResultIndex,
-    workload: &str,
-    base: &ExperimentConfig,
-    factors: &[f64],
-) -> Option<Vec<f64>> {
-    let reference = index
-        .get(workload, &base.with_latency_factor(1.0))?
-        .result
-        .ipc;
-    if reference <= 0.0 {
-        return None;
+    let means = ltrf_sweep::relative_ipc_series(results, factors, select).unwrap_or_else(|| {
+        eprintln!("series `{label}`: no workload has a complete latency curve");
+        vec![0.0; factors.len()]
+    });
+    SweepSeries {
+        label,
+        points: factors.iter().copied().zip(means).collect(),
     }
-    factors
-        .iter()
-        .map(|&factor| {
-            index
-                .get(workload, &base.with_latency_factor(factor))
-                .map(|d| d.result.ipc / reference)
-        })
-        .collect()
 }
 
 /// Figure 12: LTRF IPC vs. main-register-file latency for 8/16/32 registers
-/// per register-interval.
+/// per register-interval, through the canonical
+/// [`ltrf_sweep::campaigns::fig12_spec`] campaign (shared with `sweep
+/// fig12` and its golden-file test).
 #[must_use]
 pub fn figure12(selection: SuiteSelection) -> Vec<SweepSeries> {
-    let sizes = [8usize, 16, 32];
     let workloads = suite(selection);
-    let spec = latency_matrix("fig12", &workloads, [Organization::Ltrf])
-        .registers_per_interval(sizes)
-        .build();
-    let index = ResultIndex::new(&run_figure_spec(&spec));
+    let spec = ltrf_sweep::campaigns::fig12_spec(names(&workloads), 1, harness_seed_mode());
+    let results = run_figure_spec(&spec);
     let factors = paper_latency_factors();
-    sizes
+    ltrf_sweep::campaigns::FIG12_INTERVAL_SIZES
         .into_iter()
         .map(|n| {
-            let base = ExperimentConfig::new(Organization::Ltrf).with_registers_per_interval(n);
-            averaged_series(&index, &workloads, &base, &factors, format!("{n} regs"))
+            labelled_series(&results, &factors, format!("{n} regs"), |r| {
+                r.point.config.registers_per_interval == n
+            })
         })
         .collect()
 }
 
 /// Figure 13: LTRF IPC vs. main-register-file latency for 4/8/16 active
-/// warps.
+/// warps, through the canonical [`ltrf_sweep::campaigns::fig13_spec`]
+/// campaign (shared with `sweep fig13`).
 #[must_use]
 pub fn figure13(selection: SuiteSelection) -> Vec<SweepSeries> {
-    let warp_counts = [4usize, 8, 16];
     let workloads = suite(selection);
-    let spec = latency_matrix("fig13", &workloads, [Organization::Ltrf])
-        .active_warps(warp_counts)
-        .build();
-    let index = ResultIndex::new(&run_figure_spec(&spec));
+    let spec = ltrf_sweep::campaigns::fig13_spec(names(&workloads), 1, harness_seed_mode());
+    let results = run_figure_spec(&spec);
     let factors = paper_latency_factors();
-    warp_counts
+    ltrf_sweep::campaigns::FIG13_WARP_COUNTS
         .into_iter()
         .map(|warps| {
-            let base = ExperimentConfig::new(Organization::Ltrf).with_active_warps(warps);
-            averaged_series(
-                &index,
-                &workloads,
-                &base,
-                &factors,
-                format!("{warps} warps"),
-            )
+            labelled_series(&results, &factors, format!("{warps} warps"), |r| {
+                r.point.config.active_warps == warps
+            })
         })
         .collect()
 }
 
 /// Figure 14: IPC vs. main-register-file latency for BL, RFC, SHRF,
-/// LTRF (strand), and LTRF (register-interval).
+/// LTRF (strand), and LTRF (register-interval), through the canonical
+/// [`ltrf_sweep::campaigns::fig14_spec`] campaign (shared with `sweep
+/// fig14`).
 #[must_use]
 pub fn figure14(selection: SuiteSelection) -> Vec<SweepSeries> {
-    let organizations = [
-        Organization::Baseline,
-        Organization::Rfc,
-        Organization::Shrf,
-        Organization::LtrfStrand,
-        Organization::Ltrf,
-    ];
     let workloads = suite(selection);
-    let spec = latency_matrix("fig14", &workloads, organizations).build();
-    let index = ResultIndex::new(&run_figure_spec(&spec));
+    let spec = ltrf_sweep::campaigns::fig14_spec(names(&workloads), 1, harness_seed_mode());
+    let results = run_figure_spec(&spec);
     let factors = paper_latency_factors();
-    organizations
+    ltrf_sweep::campaigns::FIG14_ORGS
         .into_iter()
         .map(|org| {
-            let base = ExperimentConfig::new(org);
-            averaged_series(&index, &workloads, &base, &factors, org.label().to_string())
+            labelled_series(&results, &factors, org.label().to_string(), |r| {
+                r.point.config.organization == org
+            })
         })
         .collect()
 }

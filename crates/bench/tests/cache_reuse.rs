@@ -1,0 +1,83 @@
+//! Cross-entry-point cache reuse: a bench-harness run warm-hits a cache the
+//! `sweep` CLI populated.
+//!
+//! Both entry points build their campaigns from the same canonical
+//! [`ltrf_sweep::campaigns`] constructors with the same fixed campaign
+//! seed, so their points have identical content-addressed cache
+//! identities. This test populates a cache exactly as the CLI does (the
+//! canonical spec through [`run_sweep`] with a cache directory attached)
+//! and then replays the bench harness's side of the contract: the same
+//! canonical spec under [`ltrf_bench::figure_executor_options`] with
+//! `LTRF_CACHE_DIR` pointing at the CLI's cache. Every point must be
+//! served from the cache — zero recomputation — and byte-identical.
+
+use std::path::PathBuf;
+
+use ltrf_sweep::campaigns::{fig10_spec, fig12_spec};
+use ltrf_sweep::{run_sweep, ExecutorOptions, SeedMode, CAMPAIGN_SEED};
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("ltrf-cache-reuse-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+#[test]
+fn bench_harness_warm_hits_a_cli_populated_cache() {
+    // One register-sensitive workload keeps the campaigns small; what is
+    // under test is identity, not coverage.
+    let workloads = ["hotspot"];
+    let seed_mode = SeedMode::Fixed(CAMPAIGN_SEED);
+    let cache_dir = temp_dir("cli");
+
+    // The CLI side: `sweep fig12 --cache <dir>` is exactly this call.
+    let spec = fig12_spec(workloads, 1, seed_mode);
+    let cli_options = ExecutorOptions {
+        cache_dir: Some(cache_dir.clone()),
+        ..ExecutorOptions::default()
+    };
+    let cold = run_sweep(&spec, &cli_options);
+    assert_eq!(cold.failure_count(), 0);
+    assert_eq!(cold.cached_count(), 0, "fresh cache: everything computes");
+
+    // The bench side: the fig12 harness function builds the same canonical
+    // spec and runs it under figure_executor_options(), which attaches the
+    // cache named by LTRF_CACHE_DIR.
+    std::env::set_var("LTRF_CACHE_DIR", &cache_dir);
+    let bench_options = ltrf_bench::figure_executor_options();
+    assert_eq!(
+        bench_options.cache_dir.as_deref(),
+        Some(cache_dir.as_path()),
+        "LTRF_CACHE_DIR attaches the CLI's cache to the harness"
+    );
+    let warm = run_sweep(&fig12_spec(workloads, 1, seed_mode), &bench_options);
+    std::env::remove_var("LTRF_CACHE_DIR");
+
+    assert_eq!(warm.failure_count(), 0);
+    assert_eq!(warm.computed_count(), 0, "bench run recomputes nothing");
+    assert!((warm.cache_hit_rate() - 1.0).abs() < 1e-12);
+    for (cold_record, warm_record) in cold.records.iter().zip(&warm.records) {
+        assert_eq!(cold_record.outcome, warm_record.outcome, "bit-identical");
+        assert!(warm_record.from_cache);
+    }
+
+    // Cross-campaign reuse: fig10 is the configuration-#7 slice of the
+    // power sweep, so a fig10 run over a power-populated cache also hits
+    // fully (the atlas documents this overlap).
+    let power = ltrf_sweep::campaigns::power_sweep_spec(
+        workloads,
+        1,
+        seed_mode,
+        ltrf_tech::PowerParams::default(),
+    );
+    let power_results = run_sweep(&power, &cli_options);
+    assert_eq!(power_results.failure_count(), 0);
+    let fig10 = run_sweep(&fig10_spec(workloads, 1, seed_mode), &cli_options);
+    assert_eq!(
+        fig10.computed_count(),
+        0,
+        "fig10 is served entirely from the power sweep's entries"
+    );
+
+    let _ = std::fs::remove_dir_all(&cache_dir);
+}

@@ -7,7 +7,7 @@ use ltrf_isa::Kernel;
 use ltrf_sim::{
     simulate, simulate_gpu, GpuConfig, GpuStats, MemoryBehavior, SimStats, SimWorkload, SmConfig,
 };
-use ltrf_tech::{PowerBreakdown, RegFileConfig, RegFilePowerModel};
+use ltrf_tech::{PowerBreakdown, PowerParams, RegFileConfig, RegFilePowerModel};
 
 use crate::organizations::{
     build_organization, build_organization_fleet, LtrfParams, Organization,
@@ -36,6 +36,11 @@ pub struct ExperimentConfig {
     /// configuration). With more than one SM the kernel's grid is weak-scaled
     /// by the SM count and the SMs contend for a shared L2 and DRAM.
     pub sm_count: usize,
+    /// The power-model calibration the run is evaluated under (the `sweep
+    /// power` knobs). Part of this configuration's serialized form, and
+    /// therefore of every content-addressed cache key — results computed
+    /// under different calibrations never alias.
+    pub power: PowerParams,
 }
 
 impl ExperimentConfig {
@@ -50,6 +55,7 @@ impl ExperimentConfig {
             active_warps: 8,
             rfc_entries_per_warp: 16,
             sm_count: 1,
+            power: PowerParams::default(),
         }
     }
 
@@ -91,6 +97,13 @@ impl ExperimentConfig {
     #[must_use]
     pub fn with_sm_count(mut self, sm_count: usize) -> Self {
         self.sm_count = sm_count.max(1);
+        self
+    }
+
+    /// Sets the power-model calibration (the `sweep power` knobs).
+    #[must_use]
+    pub fn with_power_params(mut self, params: PowerParams) -> Self {
+        self.power = params;
         self
     }
 
@@ -294,7 +307,12 @@ fn finish_run(
     } else {
         sm.regfile_cache_bytes as f64 / 1024.0
     };
-    let power_model = RegFilePowerModel::for_config(&config.mrf_config, rfc_kib, sm.core_clock_mhz);
+    let power_model = RegFilePowerModel::for_config_with(
+        &config.mrf_config,
+        rfc_kib,
+        sm.core_clock_mhz,
+        &config.power,
+    );
     // The power model describes ONE register file (its leakage term is per
     // instance), so feed it per-SM mean access counts: for sm_count = 1
     // this is the raw counts; for multi-SM runs it yields the per-SM
@@ -380,7 +398,17 @@ pub fn run_normalized(
     seed: u64,
     config: &ExperimentConfig,
 ) -> Result<NormalizedResult, CoreError> {
-    let baseline = run_baseline_reference_at(kernel, memory, seed, config.sm_count.max(1))?;
+    // The reference runs at the same SM count *and* under the same
+    // power-model calibration, so a `sweep power` recalibration moves the
+    // numerator and the denominator together.
+    let baseline = run_experiment(
+        kernel,
+        memory,
+        seed,
+        &ExperimentConfig::new(Organization::Baseline)
+            .with_sm_count(config.sm_count.max(1))
+            .with_power_params(config.power),
+    )?;
     let result = run_experiment(kernel, memory, seed, config)?;
     let normalized_ipc = if baseline.ipc > 0.0 {
         result.ipc / baseline.ipc
@@ -474,6 +502,38 @@ mod tests {
         let four = one.with_sm_count(4);
         assert_ne!(one.cache_key_material(), four.cache_key_material());
         assert!(four.cache_key_material().contains("\"sm_count\":4"));
+    }
+
+    #[test]
+    fn power_params_change_the_cache_key_and_scale_reported_power() {
+        let default_cfg = ExperimentConfig::for_table2(Organization::Ltrf, 7);
+        let recalibrated = default_cfg.with_power_params(ltrf_tech::PowerParams {
+            base_access_pj: 100.0,
+            ..ltrf_tech::PowerParams::default()
+        });
+        assert_ne!(
+            default_cfg.cache_key_material(),
+            recalibrated.cache_key_material(),
+            "the calibration is key material"
+        );
+        assert!(default_cfg
+            .cache_key_material()
+            .contains("\"base_access_pj\":50.0"));
+
+        let kernel = test_kernel();
+        let memory = MemoryBehavior::cache_resident();
+        let base = run_experiment(&kernel, memory, 3, &default_cfg).unwrap();
+        let hot = run_experiment(&kernel, memory, 3, &recalibrated).unwrap();
+        // Same timing, more dynamic energy.
+        assert_eq!(base.ipc, hot.ipc);
+        assert!(hot.power.mrf_dynamic_pj > base.power.mrf_dynamic_pj);
+        // Normalization recalibrates the baseline reference too, so the
+        // leakage-free part of the ratio is calibration-invariant; assert the
+        // ratios stay close rather than drifting with the knob.
+        let norm_base = run_normalized(&kernel, memory, 3, &default_cfg).unwrap();
+        let norm_hot = run_normalized(&kernel, memory, 3, &recalibrated).unwrap();
+        assert_eq!(norm_base.normalized_ipc, norm_hot.normalized_ipc);
+        assert!((norm_base.normalized_power - norm_hot.normalized_power).abs() < 0.2);
     }
 
     #[test]

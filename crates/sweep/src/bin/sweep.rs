@@ -4,7 +4,12 @@
 //! ```text
 //! sweep fig9         [OPTIONS]   six organizations × suite on configurations #6/#7
 //! sweep fig11        [OPTIONS]   latency-tolerance matrix (orgs × latency factors)
+//! sweep fig12        [OPTIONS]   LTRF latency sweep × registers per interval
+//! sweep fig13        [OPTIONS]   LTRF latency sweep × active warps
+//! sweep fig14        [OPTIONS]   latency sweep × register-caching scheme
 //! sweep table2       [OPTIONS]   the seven design points, swept under BL and LTRF
+//! sweep power        [OPTIONS]   RF power across all design points (fig10 = the #7 slice)
+//! sweep repro        [OPTIONS]   the full paper-artifact set into one directory
 //! sweep gpu-scale    [OPTIONS]   BL/LTRF full-GPU scaling over shared L2/DRAM
 //! sweep gen-campaign [OPTIONS]   BL/LTRF over a seeded random kernel population
 //!
@@ -17,10 +22,15 @@
 //!   --threads N         worker threads              (default: all cores)
 //!   --per-point-seeds   derive a distinct seed per point instead of the
 //!                       paper's fixed campaign seed
-//!   --sm-count N        simulate N SMs sharing the L2/DRAM (fig9, fig11,
-//!                       table2, gen-campaign; default 1, the classic
+//!   --sm-count N        simulate N SMs sharing the L2/DRAM (every campaign
+//!                       except gpu-scale; default 1, the classic
 //!                       single-SM campaigns)
 //!   --sm-counts A,B,..  the SM-count axis of gpu-scale (default 1,2,4,8)
+//!
+//! power OPTIONS (the power-model calibration; defaults reproduce the paper):
+//!   --access-energy-pj E    per-access dynamic-energy anchor, in pJ
+//!   --leakage-mw-per-kb L   static-power anchor, in mW per KB
+//!   --dwm-write-penalty P   DWM write/read energy ratio
 //!
 //! gen-campaign OPTIONS (generator bounds default to GeneratorConfig::default):
 //!   --population N      population size             (default: 64)
@@ -29,6 +39,11 @@
 //!   --max-outer-trips N / --max-inner-trips N   loop trip-count bounds
 //!   --max-body-alu N / --max-body-loads N       inner-loop body mix bounds
 //! ```
+//!
+//! Each subcommand accepts only its own scoped flags — a flag given to the
+//! wrong subcommand is rejected with a pointer to the right one rather than
+//! silently ignored (the `enforce_flag_scopes` table). `REPRODUCING.md`
+//! maps every paper artifact to its command, runtime, and CSV schema.
 
 use std::collections::BTreeMap;
 use std::path::PathBuf;
@@ -36,11 +51,15 @@ use std::process::ExitCode;
 use std::time::Instant;
 
 use ltrf_core::Organization;
-use ltrf_sweep::campaigns::{self, campaign_name, GenCampaignParams, FIG9_ORGS, GEN_CAMPAIGN_ORGS};
+use ltrf_sweep::campaigns::{
+    self, GenCampaignParams, FIG11_ORGS, FIG9_ORGS, GEN_CAMPAIGN_ORGS, POWER_ORGS,
+};
 use ltrf_sweep::{
-    report, run_sweep, ExecutorOptions, SeedMode, SweepResults, SweepSpec, CAMPAIGN_SEED,
+    report, run_sweep, ExecutorOptions, PointRecord, SeedMode, SweepResults, SweepSpec,
+    CAMPAIGN_SEED,
 };
 use ltrf_tech::configs::RegFileConfig;
+use ltrf_tech::PowerParams;
 use ltrf_workloads::{GeneratorConfig, QUICK_SUBSET};
 
 #[derive(Debug)]
@@ -69,6 +88,11 @@ struct CliOptions {
     max_inner_trips: Option<u32>,
     max_body_alu: Option<usize>,
     max_body_loads: Option<usize>,
+    /// Power-model calibration overrides of `power` (each `None` keeps the
+    /// corresponding `PowerParams::default()` knob).
+    access_energy_pj: Option<f64>,
+    leakage_mw_per_kb: Option<f64>,
+    dwm_write_penalty: Option<f64>,
 }
 
 impl Default for CliOptions {
@@ -90,14 +114,19 @@ impl Default for CliOptions {
             max_inner_trips: None,
             max_body_alu: None,
             max_body_loads: None,
+            access_energy_pj: None,
+            leakage_mw_per_kb: None,
+            dwm_write_penalty: None,
         }
     }
 }
 
 fn usage() -> &'static str {
-    "usage: sweep <fig9|fig11|table2|gpu-scale|gen-campaign> [--quick] [--out DIR] \
-     [--cache DIR] [--no-cache] [--force] [--threads N] [--per-point-seeds] \
-     [--sm-count N] [--sm-counts A,B,..] [--population N] [--seed S] \
+    "usage: sweep <fig9|fig11|fig12|fig13|fig14|table2|power|repro|gpu-scale|gen-campaign> \
+     [--quick] [--out DIR] [--cache DIR] [--no-cache] [--force] [--threads N] \
+     [--per-point-seeds] [--sm-count N] [--sm-counts A,B,..] \
+     [--access-energy-pj E] [--leakage-mw-per-kb L] [--dwm-write-penalty P] \
+     [--population N] [--seed S] \
      [--min-regs R] [--max-regs R] [--max-outer-trips N] [--max-inner-trips N] \
      [--max-body-alu N] [--max-body-loads N]"
 }
@@ -169,10 +198,197 @@ fn parse_options(args: &[String]) -> Result<CliOptions, String> {
             "--max-body-loads" => {
                 options.max_body_loads = Some(parse_value("--max-body-loads", iter.next())?)
             }
+            "--access-energy-pj" => {
+                options.access_energy_pj = Some(parse_value("--access-energy-pj", iter.next())?)
+            }
+            "--leakage-mw-per-kb" => {
+                options.leakage_mw_per_kb = Some(parse_value("--leakage-mw-per-kb", iter.next())?)
+            }
+            "--dwm-write-penalty" => {
+                options.dwm_write_penalty = Some(parse_value("--dwm-write-penalty", iter.next())?)
+            }
             other => return Err(format!("unknown option `{other}`\n{}", usage())),
         }
     }
     Ok(options)
+}
+
+// ---------------------------------------------------------------------------
+// Flag scoping — every subcommand accepts only its own flags
+// ---------------------------------------------------------------------------
+
+/// Every `sweep` subcommand, in help order.
+const COMMANDS: [&str; 10] = [
+    "fig9",
+    "fig11",
+    "fig12",
+    "fig13",
+    "fig14",
+    "table2",
+    "power",
+    "repro",
+    "gpu-scale",
+    "gen-campaign",
+];
+
+/// The campaigns that take a single `--sm-count` (everything except the
+/// `gpu-scale` axis campaign).
+const SINGLE_SM_COMMANDS: [&str; 9] = [
+    "fig9",
+    "fig11",
+    "fig12",
+    "fig13",
+    "fig14",
+    "table2",
+    "power",
+    "repro",
+    "gen-campaign",
+];
+
+/// The campaigns whose workload axis `--quick` subsets (everything except
+/// `gen-campaign`, which is sized by `--population` instead).
+const SUITE_COMMANDS: [&str; 9] = [
+    "fig9",
+    "fig11",
+    "fig12",
+    "fig13",
+    "fig14",
+    "table2",
+    "power",
+    "repro",
+    "gpu-scale",
+];
+
+/// A flag together with the subcommands it applies to: whether this
+/// invocation gave it, and what to tell the user when it lands on the wrong
+/// subcommand.
+struct FlagScope {
+    /// The flag as typed.
+    flag: &'static str,
+    /// Whether the parsed options carry it.
+    given: bool,
+    /// The subcommands it applies to.
+    commands: &'static [&'static str],
+    /// Appended to the rejection, pointing at the right usage.
+    hint: &'static str,
+}
+
+/// The scope table: one row per subcommand-specific flag. Globally
+/// applicable flags (`--out`, `--cache`, `--no-cache`, `--force`,
+/// `--threads`, `--per-point-seeds`) are deliberately absent.
+fn flag_scopes(options: &CliOptions) -> Vec<FlagScope> {
+    const GEN_HINT: &str = "it configures the generated population (use `sweep gen-campaign`)";
+    const POWER_HINT: &str = "it recalibrates the power model (use `sweep power`)";
+    let scope = |flag, given, commands, hint| FlagScope {
+        flag,
+        given,
+        commands,
+        hint,
+    };
+    vec![
+        scope(
+            "--quick",
+            options.quick,
+            &SUITE_COMMANDS,
+            "size a gen-campaign with --population N instead",
+        ),
+        scope(
+            "--sm-count",
+            options.sm_count.is_some(),
+            &SINGLE_SM_COMMANDS,
+            "use --sm-counts A,B,.. for the gpu-scale axis",
+        ),
+        scope(
+            "--sm-counts",
+            options.sm_counts.is_some(),
+            &["gpu-scale"],
+            "use --sm-count N for a single-count campaign",
+        ),
+        scope(
+            "--population",
+            options.population.is_some(),
+            &["gen-campaign"],
+            GEN_HINT,
+        ),
+        scope(
+            "--seed",
+            options.population_seed.is_some(),
+            &["gen-campaign"],
+            GEN_HINT,
+        ),
+        scope(
+            "--min-regs",
+            options.min_regs.is_some(),
+            &["gen-campaign"],
+            GEN_HINT,
+        ),
+        scope(
+            "--max-regs",
+            options.max_regs.is_some(),
+            &["gen-campaign"],
+            GEN_HINT,
+        ),
+        scope(
+            "--max-outer-trips",
+            options.max_outer_trips.is_some(),
+            &["gen-campaign"],
+            GEN_HINT,
+        ),
+        scope(
+            "--max-inner-trips",
+            options.max_inner_trips.is_some(),
+            &["gen-campaign"],
+            GEN_HINT,
+        ),
+        scope(
+            "--max-body-alu",
+            options.max_body_alu.is_some(),
+            &["gen-campaign"],
+            GEN_HINT,
+        ),
+        scope(
+            "--max-body-loads",
+            options.max_body_loads.is_some(),
+            &["gen-campaign"],
+            GEN_HINT,
+        ),
+        scope(
+            "--access-energy-pj",
+            options.access_energy_pj.is_some(),
+            &["power"],
+            POWER_HINT,
+        ),
+        scope(
+            "--leakage-mw-per-kb",
+            options.leakage_mw_per_kb.is_some(),
+            &["power"],
+            POWER_HINT,
+        ),
+        scope(
+            "--dwm-write-penalty",
+            options.dwm_write_penalty.is_some(),
+            &["power"],
+            POWER_HINT,
+        ),
+    ]
+}
+
+/// Rejects any given flag whose scope excludes `command`, so a request is
+/// never silently ignored. Called once from `main` for every subcommand —
+/// the uniform replacement for the per-subcommand rejection helpers the
+/// `--sm-count`/`--sm-counts` split introduced.
+fn enforce_flag_scopes(options: &CliOptions, command: &str) -> Result<(), String> {
+    for scope in flag_scopes(options) {
+        if scope.given && !scope.commands.contains(&command) {
+            return Err(format!(
+                "{} does not apply to `{command}` (it applies to {}); {}",
+                scope.flag,
+                scope.commands.join("/"),
+                scope.hint
+            ));
+        }
+    }
+    Ok(())
 }
 
 fn main() -> ExitCode {
@@ -181,6 +397,10 @@ fn main() -> ExitCode {
         eprintln!("{}", usage());
         return ExitCode::FAILURE;
     };
+    if !COMMANDS.contains(&command.as_str()) {
+        eprintln!("sweep: unknown command `{command}`\n{}", usage());
+        return ExitCode::FAILURE;
+    }
     let options = match parse_options(rest) {
         Ok(options) => options,
         Err(message) => {
@@ -188,16 +408,22 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    if let Err(message) = enforce_flag_scopes(&options, command) {
+        eprintln!("sweep: {message}");
+        return ExitCode::FAILURE;
+    }
     let outcome = match command.as_str() {
         "fig9" => run_fig9(&options),
         "fig11" => run_fig11(&options),
+        "fig12" => run_fig12(&options),
+        "fig13" => run_fig13(&options),
+        "fig14" => run_fig14(&options),
         "table2" => run_table2(&options),
+        "power" => run_power(&options),
+        "repro" => run_repro(&options),
         "gpu-scale" => run_gpu_scale(&options),
         "gen-campaign" => run_gen_campaign(&options),
-        other => {
-            eprintln!("sweep: unknown command `{other}`\n{}", usage());
-            return ExitCode::FAILURE;
-        }
+        _ => unreachable!("COMMANDS is exhaustive"),
     };
     match outcome {
         Ok(()) => ExitCode::SUCCESS,
@@ -237,54 +463,25 @@ fn workload_axis(
     builder.workloads(workload_names(options))
 }
 
-/// The `--sm-count` value for a fig9/fig11/table2/gen-campaign run
-/// (default 1), rejecting the gpu-scale-only `--sm-counts` flag so an axis
-/// request is never silently ignored.
-fn single_sm_count(options: &CliOptions) -> Result<usize, String> {
-    if options.sm_counts.is_some() {
-        return Err(
-            "--sm-counts is the gpu-scale axis; use --sm-count N for this campaign".to_string(),
-        );
-    }
-    Ok(options.sm_count.unwrap_or(1))
+/// The `--sm-count` value for a single-count campaign (default 1). Scope
+/// enforcement already happened in `main`, so this is a plain default.
+fn single_sm_count(options: &CliOptions) -> usize {
+    options.sm_count.unwrap_or(1)
 }
 
-/// Rejects the gen-campaign-only flags on suite campaigns, so a generator
-/// request is never silently ignored.
-fn reject_generator_flags(options: &CliOptions, command: &str) -> Result<(), String> {
-    let gen_flags: [(&str, bool); 8] = [
-        ("--population", options.population.is_some()),
-        ("--seed", options.population_seed.is_some()),
-        ("--min-regs", options.min_regs.is_some()),
-        ("--max-regs", options.max_regs.is_some()),
-        ("--max-outer-trips", options.max_outer_trips.is_some()),
-        ("--max-inner-trips", options.max_inner_trips.is_some()),
-        ("--max-body-alu", options.max_body_alu.is_some()),
-        ("--max-body-loads", options.max_body_loads.is_some()),
-    ];
-    if let Some((flag, _)) = gen_flags.iter().find(|(_, given)| *given) {
-        return Err(format!(
-            "{flag} configures the generated population; it does not apply to `{command}` \
-             (use `sweep gen-campaign`)"
-        ));
-    }
-    Ok(())
-}
-
-/// The `--sm-counts` axis for gpu-scale (default 1,2,4,8), rejecting the
-/// per-figure `--sm-count` flag so a single-count request is never silently
-/// ignored.
-fn sm_count_axis(options: &CliOptions) -> Result<Vec<usize>, String> {
-    if options.sm_count.is_some() {
-        return Err(
-            "--sm-count applies to fig9/fig11/table2; use --sm-counts A,B,.. for gpu-scale"
-                .to_string(),
-        );
-    }
-    Ok(options
+/// The `--sm-counts` axis for gpu-scale (default 1,2,4,8).
+fn sm_count_axis(options: &CliOptions) -> Vec<usize> {
+    options
         .sm_counts
         .clone()
-        .unwrap_or_else(|| vec![1, 2, 4, 8]))
+        .unwrap_or_else(|| vec![1, 2, 4, 8])
+}
+
+/// Cache-hit percentage as an integer floor: "100" only when literally
+/// every point was a hit — the CI smoke jobs grep for it, and `{:.0}`
+/// rounding would report 100% at 293/294.
+fn floored_hit_percent(cached: usize, total: usize) -> usize {
+    (cached * 100).checked_div(total).unwrap_or(0)
 }
 
 /// Runs a campaign, writes the JSON/CSV reports, prints the summary, and
@@ -314,11 +511,11 @@ fn execute(spec: &SweepSpec, options: &CliOptions) -> Result<SweepResults, Strin
     report::write_csv(&results, &csv_path)
         .map_err(|e| format!("writing {}: {e}", csv_path.display()))?;
 
+    let rate = floored_hit_percent(results.cached_count(), results.len());
     println!(
-        "  {} computed, {} from cache ({:.0}% hit rate), {} failed, {:.2?} wall clock",
+        "  {} computed, {} from cache ({rate}% hit rate), {} failed, {:.2?} wall clock",
         results.computed_count(),
         results.cached_count(),
-        results.cache_hit_rate() * 100.0,
         results.failure_count(),
         elapsed
     );
@@ -344,8 +541,7 @@ fn execute(spec: &SweepSpec, options: &CliOptions) -> Result<SweepResults, Strin
 // ---------------------------------------------------------------------------
 
 fn run_fig9(options: &CliOptions) -> Result<(), String> {
-    reject_generator_flags(options, "fig9")?;
-    let sm_count = single_sm_count(options)?;
+    let sm_count = single_sm_count(options);
     // The canonical constructor (shared with the golden-file regression
     // test, which pins this campaign's CSV byte for byte).
     let spec = campaigns::fig9_spec(workload_names(options), sm_count, seed_mode(options));
@@ -381,28 +577,10 @@ fn run_fig9(options: &CliOptions) -> Result<(), String> {
 // fig11 — maximum tolerable register-file latency
 // ---------------------------------------------------------------------------
 
-const FIG11_ORGS: [Organization; 4] = [
-    Organization::Baseline,
-    Organization::Rfc,
-    Organization::Ltrf,
-    Organization::LtrfPlus,
-];
-
 fn run_fig11(options: &CliOptions) -> Result<(), String> {
-    reject_generator_flags(options, "fig11")?;
-    let factors = ltrf_core::paper_latency_factors();
-    let sm_count = single_sm_count(options)?;
-    let spec = workload_axis(
-        options,
-        SweepSpec::builder(campaign_name("fig11", sm_count)),
-    )
-    .organizations(FIG11_ORGS)
-    .config_ids([1])
-    .latency_factors(factors.iter().map(|&f| Some(f)))
-    .sm_counts([sm_count])
-    .seed_mode(seed_mode(options))
-    .normalize(false)
-    .build();
+    let sm_count = single_sm_count(options);
+    // The canonical constructor (shared with the `fig11` harness binary).
+    let spec = campaigns::fig11_spec(workload_names(options), sm_count, seed_mode(options));
     let results = execute(&spec, options)?;
 
     // The paper's default allowed IPC loss (§6.3).
@@ -448,11 +626,229 @@ fn run_fig11(options: &CliOptions) -> Result<(), String> {
 }
 
 // ---------------------------------------------------------------------------
+// fig12/fig13/fig14 — latency sweeps over design parameters and schemes
+// ---------------------------------------------------------------------------
+
+/// One summary row of a latency-sweep campaign: a label and the predicate
+/// selecting the series' points.
+type LatencySeries<'a> = (String, Box<dyn Fn(&PointRecord) -> bool + 'a>);
+
+/// Prints a latency-sweep summary table: one row per series, one column per
+/// latency factor, via the engine's canonical
+/// [`ltrf_sweep::relative_ipc_series`] aggregation (the CSV report carries
+/// the raw per-point rows).
+fn print_latency_series(results: &SweepResults, factors: &[f64], series: &[LatencySeries<'_>]) {
+    print!("  {:<22}", "Series");
+    for factor in factors {
+        print!(" {factor:>5.0}x");
+    }
+    println!();
+    for (label, select) in series {
+        match ltrf_sweep::relative_ipc_series(results, factors, select.as_ref()) {
+            Some(means) => {
+                print!("  {label:<22}");
+                for mean in means {
+                    print!(" {mean:>6.2}");
+                }
+                println!();
+            }
+            None => println!("  {label:<22} (no complete curves)"),
+        }
+    }
+}
+
+fn run_fig12(options: &CliOptions) -> Result<(), String> {
+    let sm_count = single_sm_count(options);
+    // The canonical constructor (shared with the golden-file regression
+    // test, which pins this campaign's CSV byte for byte, and with the
+    // `fig12` harness binary).
+    let spec = campaigns::fig12_spec(workload_names(options), sm_count, seed_mode(options));
+    let results = execute(&spec, options)?;
+    let factors = ltrf_core::paper_latency_factors();
+    println!(
+        "\nFigure 12: LTRF IPC (relative to the 1x point) vs. MRF latency, \
+         by registers per register-interval"
+    );
+    let series: Vec<LatencySeries> = campaigns::FIG12_INTERVAL_SIZES
+        .into_iter()
+        .map(|n| {
+            (
+                format!("{n} regs"),
+                Box::new(move |r: &PointRecord| r.point.config.registers_per_interval == n)
+                    as Box<dyn Fn(&PointRecord) -> bool>,
+            )
+        })
+        .collect();
+    print_latency_series(&results, &factors, &series);
+    Ok(())
+}
+
+fn run_fig13(options: &CliOptions) -> Result<(), String> {
+    let sm_count = single_sm_count(options);
+    let spec = campaigns::fig13_spec(workload_names(options), sm_count, seed_mode(options));
+    let results = execute(&spec, options)?;
+    let factors = ltrf_core::paper_latency_factors();
+    println!("\nFigure 13: LTRF IPC (relative to the 1x point) vs. MRF latency, by active warps");
+    let series: Vec<LatencySeries> = campaigns::FIG13_WARP_COUNTS
+        .into_iter()
+        .map(|warps| {
+            (
+                format!("{warps} warps"),
+                Box::new(move |r: &PointRecord| r.point.config.active_warps == warps)
+                    as Box<dyn Fn(&PointRecord) -> bool>,
+            )
+        })
+        .collect();
+    print_latency_series(&results, &factors, &series);
+    Ok(())
+}
+
+fn run_fig14(options: &CliOptions) -> Result<(), String> {
+    let sm_count = single_sm_count(options);
+    let spec = campaigns::fig14_spec(workload_names(options), sm_count, seed_mode(options));
+    let results = execute(&spec, options)?;
+    let factors = ltrf_core::paper_latency_factors();
+    println!("\nFigure 14: IPC (relative to each scheme's 1x point) vs. MRF latency, by scheme");
+    let series: Vec<LatencySeries> = campaigns::FIG14_ORGS
+        .into_iter()
+        .map(|org| {
+            (
+                org.label().to_string(),
+                Box::new(move |r: &PointRecord| r.point.config.organization == org)
+                    as Box<dyn Fn(&PointRecord) -> bool>,
+            )
+        })
+        .collect();
+    print_latency_series(&results, &factors, &series);
+    Ok(())
+}
+
+// ---------------------------------------------------------------------------
+// power — register-file power across every Table 2 design point
+// ---------------------------------------------------------------------------
+
+/// Assembles the power-model calibration from the CLI overrides, with
+/// friendly errors instead of the library's campaign-definition panics.
+fn power_calibration(options: &CliOptions) -> Result<PowerParams, String> {
+    let defaults = PowerParams::default();
+    let params = PowerParams {
+        base_access_pj: options.access_energy_pj.unwrap_or(defaults.base_access_pj),
+        base_leakage_mw_per_kb: options
+            .leakage_mw_per_kb
+            .unwrap_or(defaults.base_leakage_mw_per_kb),
+        dwm_write_penalty: options
+            .dwm_write_penalty
+            .unwrap_or(defaults.dwm_write_penalty),
+    };
+    params.validate().map_err(|complaint| {
+        // The library complains in field names; translate to the CLI flags.
+        let complaint = complaint
+            .replace("base_access_pj", "--access-energy-pj")
+            .replace("base_leakage_mw_per_kb", "--leakage-mw-per-kb")
+            .replace("dwm_write_penalty", "--dwm-write-penalty");
+        format!("power calibration: {complaint}")
+    })?;
+    Ok(params)
+}
+
+fn run_power(options: &CliOptions) -> Result<(), String> {
+    let sm_count = single_sm_count(options);
+    let params = power_calibration(options)?;
+    println!(
+        "power sweep: RFC/LTRF/LTRF+ on configurations #1..#7, normalized to baseline \
+         (calibration: {} pJ/access, {} mW/KB leakage, {}x DWM write penalty)",
+        params.base_access_pj, params.base_leakage_mw_per_kb, params.dwm_write_penalty
+    );
+    let spec = campaigns::power_sweep_spec(
+        workload_names(options),
+        sm_count,
+        seed_mode(options),
+        params,
+    );
+    let results = execute(&spec, options)?;
+
+    println!("\nMean normalized register-file power per design point (suite mean):");
+    print!("  {:<4}", "id");
+    for org in POWER_ORGS {
+        print!(" {:>8}", org.label());
+    }
+    println!();
+    for config_id in 1..=7u8 {
+        print!("  #{config_id:<3}");
+        for org in POWER_ORGS {
+            let values: Vec<f64> = results
+                .successes()
+                .filter(|(r, _)| {
+                    r.point.config.mrf_config.id.0 == config_id
+                        && r.point.config.organization == org
+                })
+                .filter_map(|(_, d)| d.normalized_power)
+                .collect();
+            let mean = if values.is_empty() {
+                f64::NAN
+            } else {
+                values.iter().sum::<f64>() / values.len() as f64
+            };
+            print!(" {mean:>8.3}");
+        }
+        println!();
+    }
+    println!(
+        "  (the configuration #7 row is Figure 10; the paper reports 0.65 / 0.65 / 0.54 there)"
+    );
+    Ok(())
+}
+
+// ---------------------------------------------------------------------------
+// repro — the full paper-artifact set into one directory
+// ---------------------------------------------------------------------------
+
+fn run_repro(options: &CliOptions) -> Result<(), String> {
+    let sm_count = single_sm_count(options);
+    let workloads = workload_names(options);
+    let specs = campaigns::repro_specs(&workloads, sm_count, seed_mode(options));
+    println!(
+        "repro: {} campaigns over {} workload(s){} into {}",
+        specs.len(),
+        workloads.len(),
+        if options.quick { " (--quick)" } else { "" },
+        options.out_dir.display()
+    );
+    let mut points = 0usize;
+    let mut cached = 0usize;
+    let mut failed = 0usize;
+    let mut artifacts = Vec::new();
+    for spec in &specs {
+        println!();
+        let results = execute(spec, options)?;
+        points += results.len();
+        cached += results.cached_count();
+        failed += results.failure_count();
+        artifacts.push(format!("{}.csv", spec.name));
+    }
+    let rate = floored_hit_percent(cached, points);
+    println!(
+        "\nrepro total: {points} points across {} campaigns, {cached} from cache \
+         ({rate}% hit rate), {failed} failed",
+        specs.len()
+    );
+    println!(
+        "artifacts in {}: {} (plus the matching .json reports); \
+         see REPRODUCING.md for the figure-by-figure atlas",
+        options.out_dir.display(),
+        artifacts.join(", ")
+    );
+    if failed > 0 {
+        return Err(format!("{failed} repro point(s) failed"));
+    }
+    Ok(())
+}
+
+// ---------------------------------------------------------------------------
 // table2 — the seven design points, swept under BL and LTRF
 // ---------------------------------------------------------------------------
 
 fn run_table2(options: &CliOptions) -> Result<(), String> {
-    reject_generator_flags(options, "table2")?;
     println!("Table 2: register-file design points (calibrated)");
     println!(
         "  {:<4} {:<10} {:>9} {:>8} {:>8} {:>9}",
@@ -470,17 +866,10 @@ fn run_table2(options: &CliOptions) -> Result<(), String> {
         );
     }
 
-    let sm_count = single_sm_count(options)?;
-    let spec = workload_axis(
-        options,
-        SweepSpec::builder(campaign_name("table2", sm_count)),
-    )
-    .organizations([Organization::Baseline, Organization::Ltrf])
-    .config_ids(1..=7)
-    .sm_counts([sm_count])
-    .seed_mode(seed_mode(options))
-    .normalize(true)
-    .build();
+    let sm_count = single_sm_count(options);
+    // The canonical constructor (its configuration #6/#7 BL/LTRF points are
+    // the same cache entries fig9 computes).
+    let spec = campaigns::table2_spec(workload_names(options), sm_count, seed_mode(options));
     let results = execute(&spec, options)?;
 
     println!("\nMean normalized IPC per design point:");
@@ -515,8 +904,7 @@ fn run_table2(options: &CliOptions) -> Result<(), String> {
 // ---------------------------------------------------------------------------
 
 fn run_gpu_scale(options: &CliOptions) -> Result<(), String> {
-    reject_generator_flags(options, "gpu-scale")?;
-    let sm_counts = sm_count_axis(options)?;
+    let sm_counts = sm_count_axis(options);
     let spec = workload_axis(options, SweepSpec::builder("gpu-scale"))
         .organizations([Organization::Baseline, Organization::Ltrf])
         .config_ids([6])
@@ -576,12 +964,7 @@ fn generator_config(options: &CliOptions) -> Result<GeneratorConfig, String> {
 }
 
 fn run_gen_campaign(options: &CliOptions) -> Result<(), String> {
-    if options.quick {
-        return Err(
-            "--quick selects suite workloads; size a gen-campaign with --population N".to_string(),
-        );
-    }
-    let sm_count = single_sm_count(options)?;
+    let sm_count = single_sm_count(options);
     let params = GenCampaignParams {
         population: options.population.unwrap_or(64),
         population_seed: options.population_seed.unwrap_or(CAMPAIGN_SEED),
@@ -647,4 +1030,106 @@ fn run_gen_campaign(options: &CliOptions) -> Result<(), String> {
         );
     }
     Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Options with exactly one scoped flag given.
+    fn with<F: FnOnce(&mut CliOptions)>(set: F) -> CliOptions {
+        let mut options = CliOptions::default();
+        set(&mut options);
+        options
+    }
+
+    #[test]
+    fn every_scoped_flag_names_only_known_commands() {
+        for scope in flag_scopes(&CliOptions::default()) {
+            assert!(
+                !scope.commands.is_empty(),
+                "{} has an empty scope",
+                scope.flag
+            );
+            for command in scope.commands {
+                assert!(
+                    COMMANDS.contains(command),
+                    "{} is scoped to unknown command `{command}`",
+                    scope.flag
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn unscoped_invocations_pass_everywhere() {
+        let options = CliOptions::default();
+        for command in COMMANDS {
+            assert!(
+                enforce_flag_scopes(&options, command).is_ok(),
+                "default options rejected on `{command}`"
+            );
+        }
+    }
+
+    #[test]
+    fn out_of_scope_flags_are_rejected_with_a_pointer() {
+        // --sm-counts belongs to gpu-scale alone.
+        let axis = with(|o| o.sm_counts = Some(vec![1, 2]));
+        for command in COMMANDS {
+            let verdict = enforce_flag_scopes(&axis, command);
+            if command == "gpu-scale" {
+                assert!(verdict.is_ok());
+            } else {
+                let message = verdict.unwrap_err();
+                assert!(message.contains("--sm-counts"), "{message}");
+                assert!(message.contains("--sm-count N"), "hint present: {message}");
+            }
+        }
+        // --sm-count applies everywhere except gpu-scale.
+        let single = with(|o| o.sm_count = Some(4));
+        assert!(enforce_flag_scopes(&single, "fig12").is_ok());
+        assert!(enforce_flag_scopes(&single, "repro").is_ok());
+        assert!(enforce_flag_scopes(&single, "gpu-scale").is_err());
+        // Generator flags belong to gen-campaign alone.
+        let generator = with(|o| o.max_regs = Some(96));
+        assert!(enforce_flag_scopes(&generator, "gen-campaign").is_ok());
+        let message = enforce_flag_scopes(&generator, "power").unwrap_err();
+        assert!(message.contains("gen-campaign"), "{message}");
+        // Power knobs belong to power alone — including under repro, whose
+        // artifacts are pinned to the canonical calibration.
+        let calibrated = with(|o| o.access_energy_pj = Some(75.0));
+        assert!(enforce_flag_scopes(&calibrated, "power").is_ok());
+        let message = enforce_flag_scopes(&calibrated, "repro").unwrap_err();
+        assert!(message.contains("sweep power"), "{message}");
+        // --quick sizes suite campaigns, not generated populations.
+        let quick = with(|o| o.quick = true);
+        assert!(enforce_flag_scopes(&quick, "repro").is_ok());
+        let message = enforce_flag_scopes(&quick, "gen-campaign").unwrap_err();
+        assert!(message.contains("--population"), "{message}");
+    }
+
+    #[test]
+    fn hit_percent_floors_instead_of_rounding() {
+        assert_eq!(floored_hit_percent(294, 294), 100);
+        assert_eq!(floored_hit_percent(293, 294), 99, "never round up to 100");
+        assert_eq!(floored_hit_percent(0, 294), 0);
+        assert_eq!(floored_hit_percent(0, 0), 0);
+    }
+
+    #[test]
+    fn power_calibration_defaults_and_validates() {
+        assert_eq!(
+            power_calibration(&CliOptions::default()).unwrap(),
+            PowerParams::default()
+        );
+        let overridden = power_calibration(&with(|o| o.access_energy_pj = Some(75.0))).unwrap();
+        assert_eq!(overridden.base_access_pj, 75.0);
+        assert_eq!(
+            overridden.base_leakage_mw_per_kb,
+            PowerParams::default().base_leakage_mw_per_kb
+        );
+        let bad = power_calibration(&with(|o| o.dwm_write_penalty = Some(-1.0)));
+        assert!(bad.unwrap_err().contains("--dwm-write-penalty"));
+    }
 }

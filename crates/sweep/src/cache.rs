@@ -29,7 +29,12 @@ use crate::spec::{SeedMode, SweepPoint, SweepSpec};
 /// v2: `ExperimentConfig` gained `sm_count` (and `RunResult` the optional
 /// `gpu` stats), which changes every point's key material and encoding —
 /// all v1 entries are invalid, including their `PerPoint`-derived seeds.
-pub const CACHE_SCHEMA_VERSION: u32 = 2;
+///
+/// v3: `ExperimentConfig` gained `power` (the [`ltrf_tech::PowerParams`]
+/// calibration of the register-file power model), again changing every
+/// point's key material; all v2 entries and their `PerPoint` seeds are
+/// invalid.
+pub const CACHE_SCHEMA_VERSION: u32 = 3;
 
 /// Engine fingerprint mixed into every cache key: the workspace version.
 /// Changing simulator/compiler behaviour without bumping the workspace

@@ -1,13 +1,38 @@
-//! Canonical campaign constructors with more than one consumer.
+//! Canonical campaign constructors — one per paper artifact.
 //!
 //! The `sweep` CLI, the `ltrf-bench` harness, and the regression tests must
-//! agree — byte for byte — on what "the Figure 9 campaign" or "a generated
-//! campaign" means: the golden-file test pins the CLI's CSV output, and the
-//! bench harness's `gen_campaign` rows must reproduce the CLI's numbers.
-//! Keeping the spec constructors here makes that agreement structural
-//! rather than a convention.
+//! agree — byte for byte — on what "the Figure 9 campaign" or "the power
+//! sweep" means: the golden-file tests pin the CLI's CSV output, the bench
+//! harness's figure functions must reproduce the CLI's numbers, and a bench
+//! run must warm-hit a cache the CLI populated (and vice versa). Keeping
+//! every spec constructor here makes that agreement structural rather than
+//! a convention: there is exactly one definition of each campaign in the
+//! workspace, and every entry point calls it.
+//!
+//! | Constructor | Paper artifact | CLI entry point | Harness entry point |
+//! |---|---|---|---|
+//! | [`fig9_spec`] | Figure 9 (overall IPC) | `sweep fig9` | `fig9` binary |
+//! | [`fig10_spec`] | Figure 10 (RF power, config #7) | `sweep power` (the #7 slice) | `fig10` binary |
+//! | [`fig11_spec`] | Figure 11 (max tolerable latency) | `sweep fig11` | `fig11` binary |
+//! | [`fig12_spec`] | Figure 12 (interval-size sweep) | `sweep fig12` | `fig12` binary |
+//! | [`fig13_spec`] | Figure 13 (active-warp sweep) | `sweep fig13` | `fig13` binary |
+//! | [`fig14_spec`] | Figure 14 (scheme comparison) | `sweep fig14` | `fig14` binary |
+//! | [`table2_spec`] | Table 2 (design-point IPC) | `sweep table2` | `table2` binary |
+//! | [`power_sweep_spec`] | §6.4 power across all design points | `sweep power` | `fig10` binary (the #7 slice) |
+//! | [`gen_campaign_spec`] | beyond-paper generated populations | `sweep gen-campaign` | `gen_campaign` binary |
+//! | [`repro_specs`] | the full artifact set | `sweep repro` | — |
+//!
+//! Cache identity is per *point*, not per campaign: a point's key material
+//! is its workload, memory selection, seeding/normalization policy, and full
+//! [`ltrf_core::ExperimentConfig`] (including the power-model calibration).
+//! Campaigns that share points — `fig10_spec` is the configuration-#7 slice
+//! of [`power_sweep_spec`]; the quick fig9 matrix is a subset of the full
+//! one — therefore share cache entries, which is what makes a warm
+//! `sweep repro` rerun (and a bench rerun over a CLI-populated cache) hit
+//! 100%. See `REPRODUCING.md` for the artifact atlas.
 
 use ltrf_core::Organization;
+use ltrf_tech::PowerParams;
 use ltrf_workloads::GeneratorConfig;
 
 use crate::spec::{SeedMode, SweepSpec};
@@ -58,6 +83,253 @@ pub fn fig9_spec<S: Into<String>>(
         .seed_mode(seed_mode)
         .normalize(true)
         .build()
+}
+
+/// The organizations of the Figure 11 latency-tolerance matrix.
+pub const FIG11_ORGS: [Organization; 4] = [
+    Organization::Baseline,
+    Organization::Rfc,
+    Organization::Ltrf,
+    Organization::LtrfPlus,
+];
+
+/// The organizations of the Figure 14 scheme comparison (the §6.6 strand
+/// ablation rides along here).
+pub const FIG14_ORGS: [Organization; 5] = [
+    Organization::Baseline,
+    Organization::Rfc,
+    Organization::Shrf,
+    Organization::LtrfStrand,
+    Organization::Ltrf,
+];
+
+/// The organizations of the power artifacts (Figure 10 and the `sweep
+/// power` design-point sweep): the three register-caching schemes whose
+/// power the paper reports, each normalized to the baseline.
+pub const POWER_ORGS: [Organization; 3] = [
+    Organization::Rfc,
+    Organization::Ltrf,
+    Organization::LtrfPlus,
+];
+
+/// The organizations of the Table 2 design-point sweep (the paper's
+/// headline pair).
+pub const TABLE2_ORGS: [Organization; 2] = [Organization::Baseline, Organization::Ltrf];
+
+/// The register-interval sizes of the Figure 12 sensitivity sweep.
+pub const FIG12_INTERVAL_SIZES: [usize; 3] = [8, 16, 32];
+
+/// The active-warp counts of the Figure 13 sensitivity sweep.
+pub const FIG13_WARP_COUNTS: [usize; 3] = [4, 8, 16];
+
+/// The latency-sweep matrix shared by Figures 11–14: the given organizations
+/// × the paper's latency factors on configuration #1, un-normalized (the
+/// sweeps report IPC *relative to each curve's own 1× point*, which the
+/// consumers derive; baseline-normalization would double-simulate).
+fn latency_matrix<S: Into<String>>(
+    name: String,
+    workloads: impl IntoIterator<Item = S>,
+    organizations: impl IntoIterator<Item = Organization>,
+    sm_count: usize,
+    seed_mode: SeedMode,
+) -> crate::SweepSpecBuilder {
+    SweepSpec::builder(name)
+        .workloads(workloads)
+        .organizations(organizations)
+        .config_ids([1])
+        .latency_factors(ltrf_core::paper_latency_factors().into_iter().map(Some))
+        .sm_counts([sm_count])
+        .seed_mode(seed_mode)
+        .normalize(false)
+}
+
+/// The Figure 11 campaign: [`FIG11_ORGS`] × the given workloads × the
+/// paper's latency factors on configuration #1 — exactly what `sweep fig11`
+/// runs and what `ltrf-bench`'s `figure11` rows are derived from.
+#[must_use]
+pub fn fig11_spec<S: Into<String>>(
+    workloads: impl IntoIterator<Item = S>,
+    sm_count: usize,
+    seed_mode: SeedMode,
+) -> SweepSpec {
+    latency_matrix(
+        campaign_name("fig11", sm_count),
+        workloads,
+        FIG11_ORGS,
+        sm_count,
+        seed_mode,
+    )
+    .build()
+}
+
+/// The Figure 12 campaign: LTRF × the given workloads × the paper's latency
+/// factors × [`FIG12_INTERVAL_SIZES`] registers per register-interval —
+/// exactly what `sweep fig12` runs (and what the golden-file regression
+/// test pins), and what `ltrf-bench`'s `figure12` series are derived from.
+#[must_use]
+pub fn fig12_spec<S: Into<String>>(
+    workloads: impl IntoIterator<Item = S>,
+    sm_count: usize,
+    seed_mode: SeedMode,
+) -> SweepSpec {
+    latency_matrix(
+        campaign_name("fig12", sm_count),
+        workloads,
+        [Organization::Ltrf],
+        sm_count,
+        seed_mode,
+    )
+    .registers_per_interval(FIG12_INTERVAL_SIZES)
+    .build()
+}
+
+/// The Figure 13 campaign: LTRF × the given workloads × the paper's latency
+/// factors × [`FIG13_WARP_COUNTS`] active warps — exactly what `sweep
+/// fig13` runs and what `ltrf-bench`'s `figure13` series are derived from.
+#[must_use]
+pub fn fig13_spec<S: Into<String>>(
+    workloads: impl IntoIterator<Item = S>,
+    sm_count: usize,
+    seed_mode: SeedMode,
+) -> SweepSpec {
+    latency_matrix(
+        campaign_name("fig13", sm_count),
+        workloads,
+        [Organization::Ltrf],
+        sm_count,
+        seed_mode,
+    )
+    .active_warps(FIG13_WARP_COUNTS)
+    .build()
+}
+
+/// The Figure 14 campaign: [`FIG14_ORGS`] × the given workloads × the
+/// paper's latency factors on configuration #1 — exactly what `sweep fig14`
+/// runs and what `ltrf-bench`'s `figure14` series are derived from.
+#[must_use]
+pub fn fig14_spec<S: Into<String>>(
+    workloads: impl IntoIterator<Item = S>,
+    sm_count: usize,
+    seed_mode: SeedMode,
+) -> SweepSpec {
+    latency_matrix(
+        campaign_name("fig14", sm_count),
+        workloads,
+        FIG14_ORGS,
+        sm_count,
+        seed_mode,
+    )
+    .build()
+}
+
+/// The Table 2 design-point campaign: [`TABLE2_ORGS`] × the given workloads
+/// on every configuration #1–#7, normalized — exactly what `sweep table2`
+/// runs.
+#[must_use]
+pub fn table2_spec<S: Into<String>>(
+    workloads: impl IntoIterator<Item = S>,
+    sm_count: usize,
+    seed_mode: SeedMode,
+) -> SweepSpec {
+    SweepSpec::builder(campaign_name("table2", sm_count))
+        .workloads(workloads)
+        .organizations(TABLE2_ORGS)
+        .config_ids(1..=7)
+        .sm_counts([sm_count])
+        .seed_mode(seed_mode)
+        .normalize(true)
+        .build()
+}
+
+/// The Figure 10 campaign: [`POWER_ORGS`] × the given workloads on the DWM
+/// configuration #7, normalized — the paper's register-file power figure,
+/// and what `ltrf-bench`'s `figure10` rows are derived from. Its points are
+/// the configuration-#7 slice of [`power_sweep_spec`] (at the default
+/// calibration), so the two campaigns share cache entries.
+#[must_use]
+pub fn fig10_spec<S: Into<String>>(
+    workloads: impl IntoIterator<Item = S>,
+    sm_count: usize,
+    seed_mode: SeedMode,
+) -> SweepSpec {
+    SweepSpec::builder(campaign_name("fig10", sm_count))
+        .workloads(workloads)
+        .organizations(POWER_ORGS)
+        .config_ids([7])
+        .sm_counts([sm_count])
+        .seed_mode(seed_mode)
+        .normalize(true)
+        .build()
+}
+
+/// The power sweep: [`POWER_ORGS`] × the given workloads on *every* Table 2
+/// design point #1–#7, normalized, under an explicit [`PowerParams`]
+/// calibration — exactly what `sweep power` runs. At the default
+/// calibration its configuration-#7 rows are Figure 10; the other design
+/// points extend the paper's §6.4 power discussion across the whole design
+/// space.
+///
+/// The campaign (and report file) name carries a `-p<hex>` fingerprint of
+/// non-default calibrations so differently calibrated sweeps never clobber
+/// each other's reports; the calibration itself is cache-key material
+/// either way.
+///
+/// # Panics
+///
+/// Panics if the calibration fails [`PowerParams::validate`] (the CLI
+/// validates first and reports a friendly error).
+#[must_use]
+pub fn power_sweep_spec<S: Into<String>>(
+    workloads: impl IntoIterator<Item = S>,
+    sm_count: usize,
+    seed_mode: SeedMode,
+    params: PowerParams,
+) -> SweepSpec {
+    let mut base = String::from("power");
+    if params != PowerParams::default() {
+        let digest = crate::hash::sha256(serde::Serialize::to_value(&params).to_json().as_bytes());
+        base.push_str(&format!("-p{}", &crate::hash::to_hex(&digest)[..8]));
+    }
+    SweepSpec::builder(campaign_name(&base, sm_count))
+        .workloads(workloads)
+        .organizations(POWER_ORGS)
+        .config_ids(1..=7)
+        .sm_counts([sm_count])
+        .seed_mode(seed_mode)
+        .normalize(true)
+        .power_params(params)
+        .build()
+}
+
+/// The full paper-artifact set, in atlas order: Figure 9, Figure 11,
+/// Figure 12, Figure 13, Figure 14, Table 2, and the power sweep (at the
+/// default calibration, whose configuration-#7 slice is Figure 10) — exactly
+/// the campaigns `sweep repro` runs into one output directory. Campaigns
+/// share many points (the Figure 11 matrix contains Figure 12's
+/// 16-registers-per-interval curve and Figure 14's BL/RFC/LTRF curves;
+/// Table 2 contains Figure 9's normalized points on configurations #6/#7),
+/// so a cold `repro` already reuses work through the cache and a warm rerun
+/// hits 100%.
+#[must_use]
+pub fn repro_specs<S: Into<String> + Clone>(
+    workloads: &[S],
+    sm_count: usize,
+    seed_mode: SeedMode,
+) -> Vec<SweepSpec> {
+    vec![
+        fig9_spec(workloads.iter().cloned(), sm_count, seed_mode),
+        fig11_spec(workloads.iter().cloned(), sm_count, seed_mode),
+        fig12_spec(workloads.iter().cloned(), sm_count, seed_mode),
+        fig13_spec(workloads.iter().cloned(), sm_count, seed_mode),
+        fig14_spec(workloads.iter().cloned(), sm_count, seed_mode),
+        table2_spec(workloads.iter().cloned(), sm_count, seed_mode),
+        power_sweep_spec(
+            workloads.iter().cloned(),
+            sm_count,
+            seed_mode,
+            PowerParams::default(),
+        ),
+    ]
 }
 
 /// Parameters of a generated-workload campaign.
@@ -151,6 +423,108 @@ mod tests {
             fig9_spec(["hotspot"], 4, SeedMode::Fixed(1)).name,
             "fig9-sm4"
         );
+    }
+
+    #[test]
+    fn latency_sweep_specs_match_the_published_matrices() {
+        let factors = ltrf_core::paper_latency_factors().len();
+        let workloads = ["hotspot", "btree"];
+        let seed = SeedMode::Fixed(CAMPAIGN_SEED);
+
+        let fig11 = fig11_spec(workloads, 1, seed);
+        assert_eq!(fig11.name, "fig11");
+        assert_eq!(fig11.points.len(), 2 * FIG11_ORGS.len() * factors);
+        assert!(!fig11.normalize, "relative-IPC sweeps are un-normalized");
+
+        let fig12 = fig12_spec(workloads, 1, seed);
+        assert_eq!(fig12.points.len(), 2 * factors * FIG12_INTERVAL_SIZES.len());
+        assert!(fig12
+            .points
+            .iter()
+            .all(|p| p.config.organization == Organization::Ltrf));
+
+        let fig13 = fig13_spec(workloads, 1, seed);
+        assert_eq!(fig13.points.len(), 2 * factors * FIG13_WARP_COUNTS.len());
+
+        let fig14 = fig14_spec(workloads, 4, seed);
+        assert_eq!(fig14.name, "fig14-sm4");
+        assert_eq!(fig14.points.len(), 2 * FIG14_ORGS.len() * factors);
+
+        // The shared-cache overlaps the atlas documents: fig12's
+        // 16-registers-per-interval LTRF curve is point-for-point a subset
+        // of fig11's LTRF curve.
+        let fig11_materials: std::collections::BTreeSet<String> = fig11
+            .points
+            .iter()
+            .map(|p| crate::cache::point_key(&fig11, p).material)
+            .collect();
+        let shared = fig12
+            .points
+            .iter()
+            .filter(|p| p.config.registers_per_interval == 16)
+            .filter(|p| fig11_materials.contains(&crate::cache::point_key(&fig12, p).material))
+            .count();
+        assert_eq!(shared, 2 * factors, "fig12 rpi=16 points live in fig11 too");
+    }
+
+    #[test]
+    fn power_specs_slice_and_fingerprint() {
+        let workloads = ["hotspot"];
+        let seed = SeedMode::Fixed(CAMPAIGN_SEED);
+        let fig10 = fig10_spec(workloads, 1, seed);
+        assert_eq!(fig10.name, "fig10");
+        assert_eq!(fig10.points.len(), POWER_ORGS.len());
+        assert!(fig10.normalize);
+
+        let power = power_sweep_spec(workloads, 1, seed, PowerParams::default());
+        assert_eq!(power.name, "power");
+        assert_eq!(power.points.len(), POWER_ORGS.len() * 7);
+        // fig10 is the configuration-#7 slice of the default-calibration
+        // power sweep: identical cache identities.
+        let power_materials: std::collections::BTreeSet<String> = power
+            .points
+            .iter()
+            .map(|p| crate::cache::point_key(&power, p).material)
+            .collect();
+        assert!(fig10
+            .points
+            .iter()
+            .all(|p| power_materials.contains(&crate::cache::point_key(&fig10, p).material)));
+
+        // A non-default calibration fingerprints the report name and changes
+        // every cache identity.
+        let recalibrated = power_sweep_spec(
+            workloads,
+            1,
+            seed,
+            PowerParams {
+                base_access_pj: 75.0,
+                ..PowerParams::default()
+            },
+        );
+        assert!(
+            recalibrated.name.starts_with("power-p"),
+            "calibration fingerprint suffix: {}",
+            recalibrated.name
+        );
+        assert!(recalibrated.points.iter().all(
+            |p| !power_materials.contains(&crate::cache::point_key(&recalibrated, p).material)
+        ));
+    }
+
+    #[test]
+    fn repro_specs_cover_the_artifact_atlas() {
+        let specs = repro_specs(&["hotspot"], 1, SeedMode::Fixed(CAMPAIGN_SEED));
+        let names: Vec<&str> = specs.iter().map(|s| s.name.as_str()).collect();
+        assert_eq!(
+            names,
+            ["fig9", "fig11", "fig12", "fig13", "fig14", "table2", "power"]
+        );
+        // Campaign names are report file names; they must be unique so one
+        // output directory holds the whole artifact set.
+        let unique: std::collections::BTreeSet<&str> = names.iter().copied().collect();
+        assert_eq!(unique.len(), names.len());
+        assert!(specs.iter().all(|s| !s.points.is_empty()));
     }
 
     #[test]

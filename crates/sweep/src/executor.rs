@@ -219,6 +219,69 @@ impl PointMeans {
     }
 }
 
+/// Mean IPC relative to each workload's own 1× point, per latency factor,
+/// over the successful points selected by `select` — the canonical
+/// aggregation behind the Figure 12/13/14 latency-sweep summaries. The
+/// `sweep` CLI's fig12/13/14 tables and `ltrf-bench`'s `SweepSeries` rows
+/// are both this call, so the relative-IPC convention cannot drift between
+/// the two entry points.
+///
+/// A workload contributes only a *complete* curve: if its 1× reference is
+/// missing or non-positive, or any factor's point is absent, the whole
+/// workload is excluded from the series (not just the missing factors), so
+/// every returned mean averages the same workload set. Returns `None` when
+/// no workload has a complete curve. `factors` must contain `1.0` for any
+/// curve to be complete.
+pub fn relative_ipc_series<F>(
+    results: &SweepResults,
+    factors: &[f64],
+    select: F,
+) -> Option<Vec<f64>>
+where
+    F: Fn(&PointRecord) -> bool,
+{
+    // workload → latency-factor bits → ipc
+    let mut curves: std::collections::BTreeMap<&str, std::collections::BTreeMap<u64, f64>> =
+        std::collections::BTreeMap::new();
+    for (record, data) in results.successes() {
+        if !select(record) {
+            continue;
+        }
+        curves
+            .entry(record.point.workload.as_str())
+            .or_default()
+            .insert(
+                record.point.config.latency_factor().to_bits(),
+                data.result.ipc,
+            );
+    }
+    let mut sums = vec![0.0; factors.len()];
+    let mut complete = 0usize;
+    for curve in curves.values() {
+        let Some(&reference) = curve.get(&1.0f64.to_bits()) else {
+            continue;
+        };
+        if reference <= 0.0 {
+            continue;
+        }
+        let Some(relatives) = factors
+            .iter()
+            .map(|f| curve.get(&f.to_bits()).map(|ipc| ipc / reference))
+            .collect::<Option<Vec<f64>>>()
+        else {
+            continue;
+        };
+        for (sum, relative) in sums.iter_mut().zip(relatives) {
+            *sum += relative;
+        }
+        complete += 1;
+    }
+    if complete == 0 {
+        return None;
+    }
+    Some(sums.into_iter().map(|s| s / complete as f64).collect())
+}
+
 /// Execution policy knobs.
 #[derive(Debug, Default)]
 pub struct ExecutorOptions {

@@ -18,15 +18,26 @@
 //! * [`ResultCache`] content-addresses outcomes (SHA-256 of the canonical
 //!   point encoding, which includes `sm_count`) so re-running a figure only
 //!   recomputes changed points;
-//! * [`report`] renders campaigns as JSON and CSV, and the `sweep` binary
-//!   reproduces Figure 9, Figure 11, and Table 2 end-to-end — each at an
-//!   arbitrary SM count via `--sm-count`, plus the `gpu-scale` scaling
-//!   campaign over an SM-count axis (`--sm-counts 1,2,4,8`) and
-//!   `gen-campaign`, which sweeps a seeded random population of hundreds of
-//!   generated kernels (`--population`, `--seed`, generator bounds as
-//!   flags) far beyond the paper's fixed suite;
-//! * [`campaigns`] holds the canonical spec constructors shared by the CLI,
-//!   the bench harness, and the golden/differential regression tests.
+//! * [`report`] renders campaigns as JSON and CSV (including the absolute
+//!   power/energy columns behind the power artifacts), and the `sweep`
+//!   binary reproduces *every* simulation-backed paper artifact end-to-end:
+//!   Figures 9 and 11–14, Table 2, and the power sweep (`sweep power`, with
+//!   `--access-energy-pj`/`--leakage-mw-per-kb`/`--dwm-write-penalty`
+//!   calibration knobs; Figure 10 is its configuration-#7 slice) — each at
+//!   an arbitrary SM count via `--sm-count` — plus `sweep repro`, which
+//!   emits the whole artifact set into one directory with 100%-cache-hit
+//!   warm reruns, the `gpu-scale` scaling campaign over an SM-count axis
+//!   (`--sm-counts 1,2,4,8`), and `gen-campaign`, which sweeps a seeded
+//!   random population of hundreds of generated kernels (`--population`,
+//!   `--seed`, generator bounds as flags) far beyond the paper's fixed
+//!   suite;
+//! * [`campaigns`] holds the canonical spec constructors — exactly one
+//!   definition per paper artifact — shared by the CLI, the bench harness
+//!   (which attaches this engine's cache when `LTRF_CACHE_DIR` is set), and
+//!   the golden/differential regression tests.
+//!
+//! `REPRODUCING.md` at the repository root maps every artifact to its
+//! command, runtime, CSV schema, and cache behaviour.
 //!
 //! The per-figure harness in `ltrf-bench` drives its parallelism through
 //! [`parallel_points`], so every `fig*`/`table*` binary rides this engine.
@@ -64,8 +75,8 @@ pub const CAMPAIGN_SEED: u64 = 0x17F2_2018;
 pub use cache::{point_key, PointKey, ResultCache, CACHE_SCHEMA_VERSION, ENGINE_FINGERPRINT};
 pub use campaigns::GenCampaignParams;
 pub use executor::{
-    parallel_points, run_sweep, ExecutorOptions, PointData, PointMeans, PointOutcome, PointRecord,
-    SweepResults,
+    parallel_points, relative_ipc_series, run_sweep, ExecutorOptions, PointData, PointMeans,
+    PointOutcome, PointRecord, SweepResults,
 };
 pub use pool::{default_threads, parallel_map};
 pub use spec::{

@@ -48,13 +48,20 @@ fn memory_label(memory: MemorySelection) -> &'static str {
 /// Renders the campaign as CSV text.
 ///
 /// Generated-population points fill the `gen_seed`/`gen_index` columns with
-/// their population identity; suite points leave them empty.
+/// their population identity; suite points leave them empty. The
+/// `power_mw`/`energy_pj`/`leakage_pj` columns carry the register-file
+/// power model's absolute outputs (per-SM for multi-SM points) so the power
+/// artifacts (Figure 10 and the `sweep power` design-point sweep) are fully
+/// reconstructible from the CSV; `normalized_power` remains the paper's
+/// baseline-relative reporting convention. `REPRODUCING.md` documents every
+/// column.
 #[must_use]
 pub fn to_csv(results: &SweepResults) -> String {
     let mut out = String::from(
         "workload,gen_seed,gen_index,organization,config_id,latency_factor,\
          registers_per_interval,active_warps,\
-         sm_count,memory,seed,status,ipc,normalized_ipc,normalized_power,cache_hit_rate,\
+         sm_count,memory,seed,status,ipc,normalized_ipc,normalized_power,\
+         power_mw,energy_pj,leakage_pj,cache_hit_rate,\
          l2_hit_rate,dram_row_hit_rate,from_cache,error\n",
     );
     for record in &results.records {
@@ -88,6 +95,9 @@ pub fn to_csv(results: &SweepResults) -> String {
             float(data.map(|d| d.result.ipc)),
             float(data.and_then(|d| d.normalized_ipc)),
             float(data.and_then(|d| d.normalized_power)),
+            float(data.map(|d| d.result.power.average_power_mw)),
+            float(data.map(|d| d.result.power.total_pj())),
+            float(data.map(|d| d.result.power.leakage_pj)),
             float(data.and_then(|d| d.result.cache_hit_rate)),
             // The aggregate stats carry the shared structures' totals for
             // multi-SM points and the private LLC/DRAM for single-SM ones.

@@ -12,6 +12,7 @@ use serde::{Deserialize, Serialize};
 
 use ltrf_core::{ExperimentConfig, Organization};
 use ltrf_sim::MemoryBehavior;
+use ltrf_tech::PowerParams;
 use ltrf_workloads::{GeneratorConfig, Workload, WorkloadGenerator};
 
 /// Memory behaviour selection for a point.
@@ -153,6 +154,7 @@ pub struct SweepSpecBuilder {
     active_warps: Vec<usize>,
     sm_counts: Vec<usize>,
     memory: Vec<MemorySelection>,
+    power_params: PowerParams,
 }
 
 impl SweepSpecBuilder {
@@ -172,6 +174,7 @@ impl SweepSpecBuilder {
             active_warps: vec![8],
             sm_counts: vec![1],
             memory: vec![MemorySelection::WorkloadDefault],
+            power_params: PowerParams::default(),
         }
     }
 
@@ -289,6 +292,29 @@ impl SweepSpecBuilder {
         self
     }
 
+    /// Sets the power-model calibration every point runs under (the `sweep
+    /// power` knobs; defaults to [`PowerParams::default`]). This is a
+    /// campaign-wide setting rather than a cross-product axis: the
+    /// calibration is threaded into every point's [`ExperimentConfig`] and
+    /// therefore into its content-addressed cache key.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the calibration fails [`PowerParams::validate`] — a static
+    /// campaign-definition bug, not a runtime condition (the CLI validates
+    /// first and reports a friendly error).
+    #[must_use]
+    pub fn power_params(mut self, params: PowerParams) -> Self {
+        if let Err(complaint) = params.validate() {
+            panic!(
+                "sweep `{}`: invalid power calibration: {complaint}",
+                self.name
+            );
+        }
+        self.power_params = params;
+        self
+    }
+
     /// Enumerates the cross-product into a spec.
     ///
     /// # Panics
@@ -346,7 +372,8 @@ impl SweepSpecBuilder {
                                             ExperimentConfig::for_table2(org, config_id)
                                                 .with_registers_per_interval(rpi)
                                                 .with_active_warps(warps)
-                                                .with_sm_count(sm_count);
+                                                .with_sm_count(sm_count)
+                                                .with_power_params(self.power_params);
                                         config.latency_factor_override = latency;
                                         points.push(SweepPoint {
                                             workload: workload.clone(),
@@ -417,6 +444,40 @@ mod tests {
             spec.points[0].config.cache_key_material(),
             spec.points[1].config.cache_key_material()
         );
+    }
+
+    #[test]
+    fn power_params_thread_into_every_point() {
+        let calibration = PowerParams {
+            base_access_pj: 75.0,
+            ..PowerParams::default()
+        };
+        let spec = SweepSpec::builder("power")
+            .workloads(["hotspot"])
+            .config_ids([6, 7])
+            .power_params(calibration)
+            .build();
+        assert!(spec.points.iter().all(|p| p.config.power == calibration));
+        // A recalibrated point has a different cache identity than the
+        // default-calibration point.
+        let default_spec = SweepSpec::builder("power")
+            .workloads(["hotspot"])
+            .config_ids([6, 7])
+            .build();
+        assert_ne!(
+            spec.points[0].config.cache_key_material(),
+            default_spec.points[0].config.cache_key_material()
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid power calibration")]
+    fn degenerate_power_params_are_rejected() {
+        let bad = PowerParams {
+            dwm_write_penalty: 0.0,
+            ..PowerParams::default()
+        };
+        let _ = SweepSpec::builder("bad-power").power_params(bad);
     }
 
     #[test]

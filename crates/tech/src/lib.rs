@@ -39,5 +39,5 @@ pub mod technology;
 pub use bank::BankModel;
 pub use configs::{RegFileConfig, RegFileConfigId};
 pub use network::NetworkTopology;
-pub use power::{AccessCounts, PowerBreakdown, RegFilePowerModel};
+pub use power::{AccessCounts, PowerBreakdown, PowerParams, RegFilePowerModel};
 pub use technology::CellTechnology;

@@ -91,34 +91,98 @@ pub struct RegFilePowerModel {
     pub clock_mhz: f64,
 }
 
-/// Baseline per-access energy of a warp-wide (128-byte) HP-SRAM register-file
-/// read at 16 KB bank size, in pJ.
-const BASE_ACCESS_PJ: f64 = 50.0;
-/// Baseline HP-SRAM leakage per KB of register file, in mW.
-const BASE_LEAKAGE_MW_PER_KB: f64 = 0.16;
+/// The calibration knobs of the register-file power model.
+///
+/// The paper derives its energy numbers from GPUWattch; this reproduction
+/// uses first-order constants instead, and these are those constants, made
+/// sweepable. The `sweep power` subcommand exposes them as CLI flags
+/// (`--access-energy-pj`, `--leakage-mw-per-kb`, `--dwm-write-penalty`) so
+/// the power artifacts can be re-derived under a different calibration;
+/// because the parameters live inside `ltrf-core`'s `ExperimentConfig`,
+/// they are part of every sweep point's content-addressed cache key — two
+/// runs under different calibrations can never alias each other's cached
+/// results.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PowerParams {
+    /// Per-access energy of a warp-wide (128-byte) HP-SRAM register-file
+    /// read at 16 KB bank size, in pJ (the dynamic-energy anchor every
+    /// other access energy is scaled from).
+    pub base_access_pj: f64,
+    /// HP-SRAM leakage per KB of register-file capacity, in mW (the
+    /// static-power anchor).
+    pub base_leakage_mw_per_kb: f64,
+    /// Energy penalty of a DWM write relative to a DWM read (shift + write).
+    pub dwm_write_penalty: f64,
+}
+
+impl Default for PowerParams {
+    fn default() -> Self {
+        PowerParams {
+            base_access_pj: 50.0,
+            base_leakage_mw_per_kb: 0.16,
+            dwm_write_penalty: 1.4,
+        }
+    }
+}
+
+impl PowerParams {
+    /// Validates the calibration: every knob must be positive and finite.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable complaint naming the offending field (CLI
+    /// layers map field names to their flags).
+    pub fn validate(&self) -> Result<(), String> {
+        let checks = [
+            ("base_access_pj", self.base_access_pj),
+            ("base_leakage_mw_per_kb", self.base_leakage_mw_per_kb),
+            ("dwm_write_penalty", self.dwm_write_penalty),
+        ];
+        for (name, value) in checks {
+            if !value.is_finite() || value <= 0.0 {
+                return Err(format!("{name} must be positive and finite, got {value}"));
+            }
+        }
+        Ok(())
+    }
+}
 
 impl RegFilePowerModel {
     /// Builds a power model for a main register file described by a Table 2
     /// configuration, with an optional register-file cache of `rfc_kib`
-    /// kilobytes (pass 0 for organizations without a cache).
+    /// kilobytes (pass 0 for organizations without a cache), under the
+    /// default [`PowerParams`] calibration.
     #[must_use]
     pub fn for_config(config: &RegFileConfig, rfc_kib: f64, clock_mhz: f64) -> Self {
+        RegFilePowerModel::for_config_with(config, rfc_kib, clock_mhz, &PowerParams::default())
+    }
+
+    /// [`Self::for_config`] under an explicit [`PowerParams`] calibration
+    /// (the `sweep power` entry point).
+    #[must_use]
+    pub fn for_config_with(
+        config: &RegFileConfig,
+        rfc_kib: f64,
+        clock_mhz: f64,
+        params: &PowerParams,
+    ) -> Self {
         let tech = config.technology;
         // Access energy grows slowly with bank size (longer lines).
         let size_energy = 0.75 + 0.25 * config.bank_size_factor.max(1.0).sqrt();
-        let mrf_access_pj = BASE_ACCESS_PJ * tech.relative_access_energy() * size_energy;
+        let mrf_access_pj = params.base_access_pj * tech.relative_access_energy() * size_energy;
         // DWM writes are more expensive than reads (shift + write).
         let write_penalty = if tech == CellTechnology::Dwm {
-            1.4
+            params.dwm_write_penalty
         } else {
             1.0
         };
         let mrf_capacity_kib = config.capacity_kib();
-        let mrf_leakage_mw = mrf_capacity_kib * BASE_LEAKAGE_MW_PER_KB * tech.relative_leakage();
+        let mrf_leakage_mw =
+            mrf_capacity_kib * params.base_leakage_mw_per_kb * tech.relative_leakage();
         // The RFC and WCB are small HP-SRAM structures.
-        let rfc_access_pj = BASE_ACCESS_PJ * 0.18;
-        let wcb_access_pj = BASE_ACCESS_PJ * 0.04;
-        let cache_leakage_mw = rfc_kib * BASE_LEAKAGE_MW_PER_KB * 1.1;
+        let rfc_access_pj = params.base_access_pj * 0.18;
+        let wcb_access_pj = params.base_access_pj * 0.04;
+        let cache_leakage_mw = rfc_kib * params.base_leakage_mw_per_kb * 1.1;
         RegFilePowerModel {
             mrf_read_pj: mrf_access_pj,
             mrf_write_pj: mrf_access_pj * write_penalty,
@@ -242,6 +306,71 @@ mod tests {
         let breakdown = model.evaluate(&AccessCounts::default());
         assert_eq!(breakdown.average_power_mw, 0.0);
         assert_eq!(breakdown.total_pj(), 0.0);
+    }
+
+    #[test]
+    fn power_params_scale_the_model() {
+        let config = RegFileConfig::from_table(7);
+        let default_model = RegFilePowerModel::for_config(&config, 16.0, 1137.0);
+        // The explicit-default path is the implicit-default path.
+        assert_eq!(
+            default_model,
+            RegFilePowerModel::for_config_with(&config, 16.0, 1137.0, &PowerParams::default())
+        );
+        // Doubling the access-energy anchor doubles every dynamic energy.
+        let doubled = RegFilePowerModel::for_config_with(
+            &config,
+            16.0,
+            1137.0,
+            &PowerParams {
+                base_access_pj: 100.0,
+                ..PowerParams::default()
+            },
+        );
+        assert!((doubled.mrf_read_pj - 2.0 * default_model.mrf_read_pj).abs() < 1e-9);
+        assert!((doubled.rfc_access_pj - 2.0 * default_model.rfc_access_pj).abs() < 1e-9);
+        // Leakage is untouched by the dynamic anchor.
+        assert_eq!(doubled.mrf_leakage_mw, default_model.mrf_leakage_mw);
+        // The write penalty applies to DWM only.
+        let heavy_writes = PowerParams {
+            dwm_write_penalty: 2.0,
+            ..PowerParams::default()
+        };
+        let dwm = RegFilePowerModel::for_config_with(&config, 16.0, 1137.0, &heavy_writes);
+        assert!((dwm.mrf_write_pj - 2.0 * dwm.mrf_read_pj).abs() < 1e-9);
+        let sram = RegFilePowerModel::for_config_with(
+            &RegFileConfig::baseline(),
+            0.0,
+            1137.0,
+            &heavy_writes,
+        );
+        assert_eq!(sram.mrf_write_pj, sram.mrf_read_pj);
+    }
+
+    #[test]
+    fn power_params_validate_rejects_non_positive_knobs() {
+        assert!(PowerParams::default().validate().is_ok());
+        let zero = PowerParams {
+            base_access_pj: 0.0,
+            ..PowerParams::default()
+        };
+        assert!(zero.validate().unwrap_err().contains("base_access_pj"));
+        let nan = PowerParams {
+            base_leakage_mw_per_kb: f64::NAN,
+            ..PowerParams::default()
+        };
+        assert!(nan
+            .validate()
+            .unwrap_err()
+            .contains("base_leakage_mw_per_kb"));
+        let negative = PowerParams {
+            dwm_write_penalty: -1.0,
+            ..PowerParams::default()
+        };
+        assert!(negative
+            .validate()
+            .unwrap_err()
+            .contains("dwm_write_penalty"));
     }
 
     #[test]
