@@ -1,0 +1,30 @@
+//! Regenerates the design-point power sweep: normalized register-file
+//! power of RFC, LTRF, and LTRF+ on every Table 2 configuration.
+//!
+//! A thin wrapper over the registry's `power` campaign — the same matrix
+//! `sweep power` runs (the cached entry point with CSV/JSON reports and
+//! calibration knobs); the `config_id = 7` row is Figure 10. Set
+//! `LTRF_CACHE_DIR` to the CLI's cache directory to serve shared points
+//! from it instead of recomputing.
+
+use ltrf_bench::{format_table, power_sweep, SuiteSelection};
+
+fn main() {
+    println!("Power sweep: normalized register-file power per design point (suite mean)\n");
+    let rows: Vec<Vec<String>> = power_sweep(SuiteSelection::Full)
+        .into_iter()
+        .map(|r| {
+            vec![
+                format!("#{}", r.config_id),
+                format!("{:.3}", r.rfc),
+                format!("{:.3}", r.ltrf),
+                format!("{:.3}", r.ltrf_plus),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        format_table(&["Config", "RFC", "LTRF", "LTRF+"], &rows)
+    );
+    println!("The configuration #7 row is Figure 10; the paper reports 0.65 / 0.65 / 0.54 there.");
+}

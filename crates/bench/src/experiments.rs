@@ -1,10 +1,15 @@
 //! One function per table and figure of the paper.
 //!
-//! Every simulation-backed figure builds a declarative [`SweepSpec`]
-//! cross-product and hands it to the `ltrf-sweep` engine, which shards the
-//! matrix across cores with panic isolation; the functions here only pivot
-//! the engine's records into the paper's row shapes. Compiler-only studies
-//! (Table 4, §4.3 overheads) use the engine's raw parallel primitive.
+//! Every paper-artifact campaign (fig9–fig14, table2, power) is dispatched
+//! through the campaign registry ([`ltrf_sweep::api`]) — the same
+//! [`ltrf_sweep::Campaign`] entries the `sweep` CLI generates its
+//! subcommands from — and executed on an observed
+//! [`ltrf_sweep::CampaignSession`], with failure reporting
+//! riding the typed event stream; the functions here only pivot the
+//! engine's records into the paper's row shapes. Preliminary studies with
+//! no CLI campaign (fig3, fig4) build their own [`SweepSpec`]
+//! cross-products, and compiler-only studies (Table 4, §4.3 overheads) use
+//! the engine's raw parallel primitive.
 
 use std::collections::HashMap;
 
@@ -16,9 +21,10 @@ use ltrf_core::{
 };
 use ltrf_isa::RegisterSensitivity;
 use ltrf_sim::GpuConfig;
+use ltrf_sweep::api::config_org_mean;
 use ltrf_sweep::{
-    run_sweep, ExecutorOptions, MemorySelection, PointData, PointMeans, SeedMode, SweepResults,
-    SweepSpec, SweepSpecBuilder,
+    registry, CampaignEvent, CampaignParams, CampaignSession, ExecutorOptions, MemorySelection,
+    PointData, PointMeans, SeedMode, SweepResults, SweepSpec, SweepSpecBuilder,
 };
 use ltrf_tech::configs::RegFileConfig;
 use ltrf_tech::generations::{figure2_generations, GpuGeneration};
@@ -80,23 +86,47 @@ const SEED: u64 = ltrf_sweep::CAMPAIGN_SEED;
 // ---------------------------------------------------------------------------
 
 /// Starts a sweep-spec builder over the given workloads with the harness's
-/// fixed campaign seed.
+/// fixed campaign seed (the preliminary fig3/fig4 studies, which have no
+/// CLI campaign and therefore no registry entry).
 fn figure_sweep(name: &str, workloads: &[Workload]) -> SweepSpecBuilder {
+    let names: Vec<String> = workloads.iter().map(|w| w.name().to_string()).collect();
     SweepSpec::builder(name)
-        .workloads(names(workloads))
+        .workloads(names)
         .seed_mode(SeedMode::Fixed(SEED))
 }
 
-/// The workloads' names, in order — what the canonical
-/// [`ltrf_sweep::campaigns`] constructors take.
-fn names(workloads: &[Workload]) -> Vec<String> {
-    workloads.iter().map(|w| w.name().to_string()).collect()
+/// The harness's campaign parameters: the given suite selection with every
+/// other knob at its canonical default (fixed campaign seed, one SM,
+/// default bounds and calibration) — exactly the parameters the `sweep`
+/// CLI resolves for an unflagged invocation, so the two front-ends build
+/// byte-identical specs with cache-compatible point identities.
+fn harness_params(selection: SuiteSelection) -> CampaignParams {
+    CampaignParams {
+        quick: selection == SuiteSelection::Quick,
+        ..CampaignParams::default()
+    }
 }
 
-/// The harness's seeding policy: the fixed campaign seed shared with the
-/// `sweep` CLI (cache-key compatible by construction).
-fn harness_seed_mode() -> SeedMode {
-    SeedMode::Fixed(SEED)
+/// The registry entry's canonical spec for a single-spec campaign, under
+/// [`harness_params`]. This is how every paper-artifact figure function
+/// here gets its campaign: through the same [`ltrf_sweep::api`] registry
+/// the CLI dispatches from, so the two surfaces cannot drift.
+fn registry_spec(name: &str, selection: SuiteSelection) -> SweepSpec {
+    registry_spec_with(name, harness_params(selection))
+}
+
+/// [`registry_spec`] with explicit campaign parameters (the beyond-paper
+/// campaigns take axes the suite selection does not express).
+fn registry_spec_with(name: &str, params: CampaignParams) -> SweepSpec {
+    let campaign = registry()
+        .find(name)
+        .unwrap_or_else(|| panic!("campaign `{name}` is registered"));
+    campaign
+        .specs(&params)
+        .expect("canonical harness parameters are valid")
+        .into_iter()
+        .next()
+        .expect("single-spec campaign")
 }
 
 /// The executor options every figure function runs with: all worker
@@ -119,20 +149,28 @@ pub fn figure_executor_options() -> ExecutorOptions {
     }
 }
 
-/// Runs a figure's spec on the in-process engine via
-/// [`figure_executor_options`].
+/// Runs a figure's spec on an observed [`CampaignSession`] via
+/// [`figure_executor_options`], reporting failures as they stream past on
+/// the engine's typed event stream (the same stream the `sweep` CLI's
+/// progress printing rides).
 fn run_figure_spec(spec: &SweepSpec) -> SweepResults {
-    let results = run_sweep(spec, &figure_executor_options());
-    for record in results.records.iter().filter(|r| r.outcome.is_failure()) {
-        eprintln!(
-            "{}: point `{}`/{} failed: {:?}",
-            spec.name,
-            record.point.workload,
-            record.point.config.organization.label(),
-            record.outcome
-        );
-    }
-    results
+    let options = figure_executor_options();
+    let name = spec.name.clone();
+    let observer = move |event: &CampaignEvent| {
+        if let CampaignEvent::PointFailed {
+            workload,
+            organization,
+            config_id,
+            error,
+            ..
+        } = event
+        {
+            eprintln!(
+                "{name}: point `{workload}`/{organization} config {config_id} failed: {error}"
+            );
+        }
+    };
+    CampaignSession::new(spec, &options).run(&observer)
 }
 
 /// Successful points indexed by workload, memory selection, and the
@@ -400,39 +438,37 @@ pub struct Fig9Row {
     pub ideal: f64,
 }
 
-/// Runs the Figure 9 experiment on Table 2 configuration `config_id`
-/// (6 for Figure 9a, 7 for Figure 9b).
+/// Runs the Figure 9 experiment through the registry's `fig9` entry — the
+/// full canonical campaign (six organizations on configurations #6 *and*
+/// #7), run once and pivoted into per-configuration row sets: one
+/// `(config_id, rows)` pair for Figure 9a (#6) and one for Figure 9b (#7).
 #[must_use]
-pub fn figure9(selection: SuiteSelection, config_id: u8) -> Vec<Fig9Row> {
+pub fn figure9(selection: SuiteSelection) -> Vec<(u8, Vec<Fig9Row>)> {
     let workloads = suite(selection);
-    let spec = figure_sweep("fig9", &workloads)
-        .organizations([
-            Organization::Baseline,
-            Organization::Rfc,
-            Organization::Ltrf,
-            Organization::LtrfPlus,
-            Organization::Ideal,
-        ])
-        .config_ids([config_id])
-        .normalize(true)
-        .build();
+    let spec = registry_spec("fig9", selection);
     let index = ResultIndex::new(&run_figure_spec(&spec));
-    rows_per_workload(&workloads, |w| {
-        let norm = |org: Organization| {
-            index
-                .at(w.name(), org, config_id)
-                .and_then(|d| d.normalized_ipc)
-        };
-        Some(Fig9Row {
-            workload: w.name(),
-            register_sensitive: w.is_register_sensitive(),
-            bl: norm(Organization::Baseline)?,
-            rfc: norm(Organization::Rfc)?,
-            ltrf: norm(Organization::Ltrf)?,
-            ltrf_plus: norm(Organization::LtrfPlus)?,
-            ideal: norm(Organization::Ideal)?,
+    [6u8, 7]
+        .into_iter()
+        .map(|config_id| {
+            let rows = rows_per_workload(&workloads, |w| {
+                let norm = |org: Organization| {
+                    index
+                        .at(w.name(), org, config_id)
+                        .and_then(|d| d.normalized_ipc)
+                };
+                Some(Fig9Row {
+                    workload: w.name(),
+                    register_sensitive: w.is_register_sensitive(),
+                    bl: norm(Organization::Baseline)?,
+                    rfc: norm(Organization::Rfc)?,
+                    ltrf: norm(Organization::Ltrf)?,
+                    ltrf_plus: norm(Organization::LtrfPlus)?,
+                    ideal: norm(Organization::Ideal)?,
+                })
+            });
+            (config_id, rows)
         })
-    })
+        .collect()
 }
 
 // ---------------------------------------------------------------------------
@@ -454,14 +490,16 @@ pub struct Fig10Row {
     pub ltrf_plus: f64,
 }
 
-/// Runs the Figure 10 power experiment on configuration #7 (DWM), through
-/// the canonical [`ltrf_sweep::campaigns::fig10_spec`] campaign — the
-/// configuration-#7 slice of the `sweep power` design-point sweep, so the
-/// two share cache entries.
+/// Runs the Figure 10 power experiment through the registry's `power`
+/// entry (Figure 10 *is* that campaign's configuration-#7 slice, which is
+/// why the registry reaches it through the `fig10` alias) and pivots the
+/// `config_id = 7` points into the paper's per-workload rows. Because the
+/// whole design-point sweep runs, a `LTRF_CACHE_DIR` cache populated by
+/// either `sweep power` or this function serves the other fully.
 #[must_use]
 pub fn figure10(selection: SuiteSelection) -> Vec<Fig10Row> {
     let workloads = suite(selection);
-    let spec = ltrf_sweep::campaigns::fig10_spec(names(&workloads), 1, harness_seed_mode());
+    let spec = registry_spec("power", selection);
     let index = ResultIndex::new(&run_figure_spec(&spec));
     rows_per_workload(&workloads, |w| {
         let norm = |org: Organization| index.at(w.name(), org, 7).and_then(|d| d.normalized_power);
@@ -519,12 +557,12 @@ fn max_tolerable(
 }
 
 /// Runs the Figure 11 experiment with the given allowed IPC loss (the paper
-/// uses 5%, with 1% and 10% variants in the text).
+/// uses 5%, with 1% and 10% variants in the text), through the registry's
+/// `fig11` entry (the same campaign `sweep fig11` runs).
 #[must_use]
 pub fn figure11(selection: SuiteSelection, allowed_loss: f64) -> Vec<Fig11Row> {
     let workloads = suite(selection);
-    // The canonical Figure 11 matrix (shared with `sweep fig11`).
-    let spec = ltrf_sweep::campaigns::fig11_spec(names(&workloads), 1, harness_seed_mode());
+    let spec = registry_spec("fig11", selection);
     let index = ResultIndex::new(&run_figure_spec(&spec));
     let factors = paper_latency_factors();
     rows_per_workload(&workloads, |w| {
@@ -584,13 +622,11 @@ fn labelled_series(
 }
 
 /// Figure 12: LTRF IPC vs. main-register-file latency for 8/16/32 registers
-/// per register-interval, through the canonical
-/// [`ltrf_sweep::campaigns::fig12_spec`] campaign (shared with `sweep
-/// fig12` and its golden-file test).
+/// per register-interval, through the registry's `fig12` entry (the same
+/// campaign `sweep fig12` runs and its golden-file test pins).
 #[must_use]
 pub fn figure12(selection: SuiteSelection) -> Vec<SweepSeries> {
-    let workloads = suite(selection);
-    let spec = ltrf_sweep::campaigns::fig12_spec(names(&workloads), 1, harness_seed_mode());
+    let spec = registry_spec("fig12", selection);
     let results = run_figure_spec(&spec);
     let factors = paper_latency_factors();
     ltrf_sweep::campaigns::FIG12_INTERVAL_SIZES
@@ -604,12 +640,11 @@ pub fn figure12(selection: SuiteSelection) -> Vec<SweepSeries> {
 }
 
 /// Figure 13: LTRF IPC vs. main-register-file latency for 4/8/16 active
-/// warps, through the canonical [`ltrf_sweep::campaigns::fig13_spec`]
-/// campaign (shared with `sweep fig13`).
+/// warps, through the registry's `fig13` entry (the same campaign `sweep
+/// fig13` runs).
 #[must_use]
 pub fn figure13(selection: SuiteSelection) -> Vec<SweepSeries> {
-    let workloads = suite(selection);
-    let spec = ltrf_sweep::campaigns::fig13_spec(names(&workloads), 1, harness_seed_mode());
+    let spec = registry_spec("fig13", selection);
     let results = run_figure_spec(&spec);
     let factors = paper_latency_factors();
     ltrf_sweep::campaigns::FIG13_WARP_COUNTS
@@ -623,13 +658,11 @@ pub fn figure13(selection: SuiteSelection) -> Vec<SweepSeries> {
 }
 
 /// Figure 14: IPC vs. main-register-file latency for BL, RFC, SHRF,
-/// LTRF (strand), and LTRF (register-interval), through the canonical
-/// [`ltrf_sweep::campaigns::fig14_spec`] campaign (shared with `sweep
-/// fig14`).
+/// LTRF (strand), and LTRF (register-interval), through the registry's
+/// `fig14` entry (the same campaign `sweep fig14` runs).
 #[must_use]
 pub fn figure14(selection: SuiteSelection) -> Vec<SweepSeries> {
-    let workloads = suite(selection);
-    let spec = ltrf_sweep::campaigns::fig14_spec(names(&workloads), 1, harness_seed_mode());
+    let spec = registry_spec("fig14", selection);
     let results = run_figure_spec(&spec);
     let factors = paper_latency_factors();
     ltrf_sweep::campaigns::FIG14_ORGS
@@ -638,6 +671,82 @@ pub fn figure14(selection: SuiteSelection) -> Vec<SweepSeries> {
             labelled_series(&results, &factors, org.label().to_string(), |r| {
                 r.point.config.organization == org
             })
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------------------
+// Table 2 sweep and the design-point power sweep
+// ---------------------------------------------------------------------------
+
+/// One design point's mean normalized IPC under BL and LTRF (the dynamic
+/// half of Table 2).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct Table2SweepRow {
+    /// Table 2 design point, 1–7.
+    pub config_id: u8,
+    /// Mean normalized IPC of the conventional register file.
+    pub bl: f64,
+    /// Mean normalized IPC of LTRF.
+    pub ltrf: f64,
+}
+
+/// Sweeps BL and LTRF over every Table 2 design point through the
+/// registry's `table2` entry (the same campaign as `sweep table2`),
+/// aggregated with the shared [`config_org_mean`] pivot behind the CLI's
+/// summary table.
+#[must_use]
+pub fn table2_sweep(selection: SuiteSelection) -> Vec<Table2SweepRow> {
+    let spec = registry_spec("table2", selection);
+    let results = run_figure_spec(&spec);
+    (1..=7u8)
+        .map(|config_id| Table2SweepRow {
+            config_id,
+            bl: config_org_mean(&results, config_id, Organization::Baseline, |d| {
+                d.normalized_ipc
+            }),
+            ltrf: config_org_mean(&results, config_id, Organization::Ltrf, |d| {
+                d.normalized_ipc
+            }),
+        })
+        .collect()
+}
+
+/// One design point's mean normalized register-file power per caching
+/// scheme (the `sweep power` design-point sweep; the `config_id = 7` row
+/// is Figure 10).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct PowerSweepRow {
+    /// Table 2 design point, 1–7.
+    pub config_id: u8,
+    /// Mean normalized power of the hardware register cache.
+    pub rfc: f64,
+    /// Mean normalized power of LTRF.
+    pub ltrf: f64,
+    /// Mean normalized power of LTRF+.
+    pub ltrf_plus: f64,
+}
+
+/// Sweeps RFC/LTRF/LTRF+ register-file power over every Table 2 design
+/// point through the registry's `power` entry (the same campaign as `sweep
+/// power` at the default calibration), aggregated with the shared
+/// [`config_org_mean`] pivot behind the CLI's summary table.
+#[must_use]
+pub fn power_sweep(selection: SuiteSelection) -> Vec<PowerSweepRow> {
+    let spec = registry_spec("power", selection);
+    let results = run_figure_spec(&spec);
+    (1..=7u8)
+        .map(|config_id| PowerSweepRow {
+            config_id,
+            rfc: config_org_mean(&results, config_id, Organization::Rfc, |d| {
+                d.normalized_power
+            }),
+            ltrf: config_org_mean(&results, config_id, Organization::Ltrf, |d| {
+                d.normalized_power
+            }),
+            ltrf_plus: config_org_mean(&results, config_id, Organization::LtrfPlus, |d| {
+                d.normalized_power
+            }),
         })
         .collect()
 }
@@ -702,17 +811,18 @@ pub struct GpuScaleRow {
 
 /// Runs the GPU-scaling study: baseline and LTRF on configuration #6 at each
 /// SM count, grids weak-scaled, all SMs contending for the shared L2 and
-/// DRAM. The same campaign as the `sweep gpu-scale` subcommand, exposed to
-/// the harness and its tests.
+/// DRAM. Dispatched through the registry's `gpu-scale` entry (the same
+/// campaign as the `sweep gpu-scale` subcommand), exposed to the harness
+/// and its tests.
 #[must_use]
 pub fn gpu_scale(selection: SuiteSelection, sm_counts: &[usize]) -> Vec<GpuScaleRow> {
-    let workloads = suite(selection);
-    let spec = figure_sweep("gpu-scale", &workloads)
-        .organizations([Organization::Baseline, Organization::Ltrf])
-        .config_ids([6])
-        .sm_counts(sm_counts.iter().copied())
-        .normalize(true)
-        .build();
+    let spec = registry_spec_with(
+        "gpu-scale",
+        CampaignParams {
+            sm_counts: Some(sm_counts.to_vec()),
+            ..harness_params(selection)
+        },
+    );
     let results = run_figure_spec(&spec);
     // The shared engine-side pivot (also behind the `sweep gpu-scale`
     // summary table, so the two cannot drift).
@@ -757,26 +867,27 @@ pub struct GenCampaignRow {
 
 /// Runs a generated-workload campaign: baseline and LTRF on configuration #6
 /// over the first `population` members of the population seeded
-/// `population_seed`, at `sm_count` SMs. The same campaign definition as the
-/// `sweep gen-campaign` subcommand (both build their spec through
-/// [`ltrf_sweep::campaigns::gen_campaign_spec`], so the two cannot drift),
-/// aggregated through the shared [`PointMeans`] pivot. Like every figure
-/// function here it runs uncached and side-effect-free — the CLI is the
-/// cached entry point.
+/// `population_seed`, at `sm_count` SMs. Dispatched through the registry's
+/// `gen-campaign` entry (the same campaign definition as the `sweep
+/// gen-campaign` subcommand, so the two cannot drift), aggregated through
+/// the shared [`PointMeans`] pivot. Like every figure function here it runs
+/// uncached unless `LTRF_CACHE_DIR` is set — the CLI is the cached entry
+/// point.
 #[must_use]
 pub fn gen_campaign(
     population: usize,
     population_seed: u64,
     sm_count: usize,
 ) -> Vec<GenCampaignRow> {
-    let params = ltrf_sweep::campaigns::GenCampaignParams {
-        population,
-        population_seed,
-        sm_count,
-        seed_mode: SeedMode::Fixed(SEED),
-        ..ltrf_sweep::campaigns::GenCampaignParams::default()
-    };
-    let spec = ltrf_sweep::campaigns::gen_campaign_spec(&params);
+    let spec = registry_spec_with(
+        "gen-campaign",
+        CampaignParams {
+            population: Some(population),
+            population_seed: Some(population_seed),
+            sm_count: Some(sm_count),
+            ..CampaignParams::default()
+        },
+    );
     let results = run_figure_spec(&spec);
     PointMeans::grouped(
         &results,
@@ -896,19 +1007,43 @@ mod tests {
     }
 
     #[test]
-    fn figure9_rows_cover_the_quick_suite_through_the_sweep_engine() {
-        let rows = figure9(SuiteSelection::Quick, 6);
-        assert_eq!(rows.len(), 4);
-        for row in &rows {
-            assert!(row.bl > 0.0 && row.ltrf > 0.0 && row.ideal > 0.0);
-            // The ideal organization cannot lose to the degraded baseline.
-            assert!(
-                row.ideal >= row.bl * 0.99,
-                "{}: ideal {} < bl {}",
-                row.workload,
-                row.ideal,
-                row.bl
-            );
+    fn figure9_rows_cover_the_quick_suite_through_the_registry() {
+        let per_config = figure9(SuiteSelection::Quick);
+        assert_eq!(
+            per_config.iter().map(|(id, _)| *id).collect::<Vec<_>>(),
+            [6, 7],
+            "one row set per sub-figure"
+        );
+        for (config_id, rows) in &per_config {
+            assert_eq!(rows.len(), 4, "configuration #{config_id}");
+            for row in rows {
+                assert!(row.bl > 0.0 && row.ltrf > 0.0 && row.ideal > 0.0);
+                // The ideal organization cannot lose to the degraded
+                // baseline.
+                assert!(
+                    row.ideal >= row.bl * 0.99,
+                    "#{config_id} {}: ideal {} < bl {}",
+                    row.workload,
+                    row.ideal,
+                    row.bl
+                );
+            }
         }
+    }
+
+    #[test]
+    fn table2_sweep_covers_every_design_point() {
+        let rows = table2_sweep(SuiteSelection::Quick);
+        assert_eq!(
+            rows.iter().map(|r| r.config_id).collect::<Vec<_>>(),
+            (1..=7).collect::<Vec<_>>()
+        );
+        for row in &rows {
+            assert!(row.bl > 0.0 && row.ltrf > 0.0, "{row:?}");
+        }
+        // On the paper's headline configuration #6 LTRF beats the
+        // latency-degraded baseline.
+        let six = rows.iter().find(|r| r.config_id == 6).unwrap();
+        assert!(six.ltrf > six.bl, "{six:?}");
     }
 }

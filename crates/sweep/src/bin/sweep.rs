@@ -1,134 +1,87 @@
 //! The `sweep` CLI: reproduce the paper's headline experiments through the
 //! parallel, cached campaign engine.
 //!
-//! ```text
-//! sweep fig9         [OPTIONS]   six organizations × suite on configurations #6/#7
-//! sweep fig11        [OPTIONS]   latency-tolerance matrix (orgs × latency factors)
-//! sweep fig12        [OPTIONS]   LTRF latency sweep × registers per interval
-//! sweep fig13        [OPTIONS]   LTRF latency sweep × active warps
-//! sweep fig14        [OPTIONS]   latency sweep × register-caching scheme
-//! sweep table2       [OPTIONS]   the seven design points, swept under BL and LTRF
-//! sweep power        [OPTIONS]   RF power across all design points (fig10 = the #7 slice)
-//! sweep repro        [OPTIONS]   the full paper-artifact set into one directory
-//! sweep gpu-scale    [OPTIONS]   BL/LTRF full-GPU scaling over shared L2/DRAM
-//! sweep gen-campaign [OPTIONS]   BL/LTRF over a seeded random kernel population
+//! This binary is a thin driver over the campaign registry
+//! ([`ltrf_sweep::api`]): the subcommand list, per-campaign flag parsing,
+//! flag cross-rejection, and the `list`/`describe` surfaces are all
+//! *generated* from the registered [`Campaign`] definitions — adding a
+//! campaign to the registry adds its subcommand here with no CLI edits.
 //!
-//! OPTIONS:
-//!   --quick             four-workload subset instead of the full suite
+//! ```text
+//! sweep <campaign>  [OPTIONS]   run a registered campaign (see `sweep list`)
+//! sweep list        [--json]    the campaign index
+//! sweep describe <campaign> [--json]   a campaign's parameters and schema
+//! sweep version                 crate version, engine fingerprint, cache schema
+//!
+//! execution OPTIONS (every campaign):
 //!   --out DIR           report directory            (default: sweep-out)
 //!   --cache DIR         result-cache directory      (default: .sweep-cache)
 //!   --no-cache          disable the result cache
 //!   --force             recompute even when cached
 //!   --threads N         worker threads              (default: all cores)
-//!   --per-point-seeds   derive a distinct seed per point instead of the
-//!                       paper's fixed campaign seed
-//!   --sm-count N        simulate N SMs sharing the L2/DRAM (every campaign
-//!                       except gpu-scale; default 1, the classic
-//!                       single-SM campaigns)
-//!   --sm-counts A,B,..  the SM-count axis of gpu-scale (default 1,2,4,8)
-//!
-//! power OPTIONS (the power-model calibration; defaults reproduce the paper):
-//!   --access-energy-pj E    per-access dynamic-energy anchor, in pJ
-//!   --leakage-mw-per-kb L   static-power anchor, in mW per KB
-//!   --dwm-write-penalty P   DWM write/read energy ratio
-//!
-//! gen-campaign OPTIONS (generator bounds default to GeneratorConfig::default):
-//!   --population N      population size             (default: 64)
-//!   --seed S            population seed             (default: the campaign seed)
-//!   --min-regs R / --max-regs R          registers-per-thread bounds
-//!   --max-outer-trips N / --max-inner-trips N   loop trip-count bounds
-//!   --max-body-alu N / --max-body-loads N       inner-loop body mix bounds
+//!   --progress MODE     human (default) or json — line-delimited
+//!                       campaign events for CI (see REPRODUCING.md)
 //! ```
 //!
-//! Each subcommand accepts only its own scoped flags — a flag given to the
-//! wrong subcommand is rejected with a pointer to the right one rather than
-//! silently ignored (the `enforce_flag_scopes` table). `REPRODUCING.md`
-//! maps every paper artifact to its command, runtime, and CSV schema.
+//! Campaign parameters (`--quick`, `--sm-count`, the generator bounds, the
+//! power-calibration knobs, …) are declared per campaign in the registry;
+//! a flag given to the wrong subcommand is rejected with a pointer to the
+//! right one rather than silently ignored, and a mistyped subcommand gets
+//! a nearest-name suggestion. `REPRODUCING.md` maps every paper artifact
+//! to its command, runtime, and CSV schema.
 
-use std::collections::BTreeMap;
 use std::path::PathBuf;
 use std::process::ExitCode;
 use std::time::Instant;
 
-use ltrf_core::Organization;
-use ltrf_sweep::campaigns::{
-    self, GenCampaignParams, FIG11_ORGS, FIG9_ORGS, GEN_CAMPAIGN_ORGS, POWER_ORGS,
-};
+use ltrf_sweep::api::{self, registry, Campaign, CampaignParams, RenderContext};
 use ltrf_sweep::{
-    report, run_sweep, ExecutorOptions, PointRecord, SeedMode, SweepResults, SweepSpec,
-    CAMPAIGN_SEED,
+    report, CampaignEvent, CampaignSession, ExecutorOptions, SweepResults, SweepSpec,
+    CACHE_SCHEMA_VERSION, ENGINE_FINGERPRINT,
 };
-use ltrf_tech::configs::RegFileConfig;
-use ltrf_tech::PowerParams;
-use ltrf_workloads::{GeneratorConfig, QUICK_SUBSET};
 
+/// How execution progress reaches stdout.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ProgressMode {
+    /// The classic summary lines (campaign header, hit-rate totals,
+    /// figure tables).
+    Human,
+    /// One JSON object per campaign event, nothing else on stdout.
+    Json,
+}
+
+/// Execution options shared by every campaign (everything that is not a
+/// campaign parameter).
 #[derive(Debug)]
-struct CliOptions {
-    quick: bool,
+struct RuntimeOptions {
     out_dir: PathBuf,
     cache_dir: Option<PathBuf>,
     force: bool,
     threads: Option<usize>,
-    per_point_seeds: bool,
-    /// SM count applied to the fig9/fig11/table2/gen-campaign campaigns
-    /// (`--sm-count`); `None` = the flag was not given (defaults to 1).
-    sm_count: Option<usize>,
-    /// The SM-count axis of the gpu-scale campaign (`--sm-counts`);
-    /// `None` = the flag was not given (defaults to 1,2,4,8).
-    sm_counts: Option<Vec<usize>>,
-    /// Population size of gen-campaign (`--population`).
-    population: Option<usize>,
-    /// Population seed of gen-campaign (`--seed`).
-    population_seed: Option<u64>,
-    /// Generator-bound overrides of gen-campaign (each `None` keeps the
-    /// corresponding `GeneratorConfig::default()` bound).
-    min_regs: Option<u16>,
-    max_regs: Option<u16>,
-    max_outer_trips: Option<u32>,
-    max_inner_trips: Option<u32>,
-    max_body_alu: Option<usize>,
-    max_body_loads: Option<usize>,
-    /// Power-model calibration overrides of `power` (each `None` keeps the
-    /// corresponding `PowerParams::default()` knob).
-    access_energy_pj: Option<f64>,
-    leakage_mw_per_kb: Option<f64>,
-    dwm_write_penalty: Option<f64>,
+    progress: ProgressMode,
 }
 
-impl Default for CliOptions {
+impl Default for RuntimeOptions {
     fn default() -> Self {
-        CliOptions {
-            quick: false,
+        RuntimeOptions {
             out_dir: PathBuf::from("sweep-out"),
             cache_dir: Some(PathBuf::from(".sweep-cache")),
             force: false,
             threads: None,
-            per_point_seeds: false,
-            sm_count: None,
-            sm_counts: None,
-            population: None,
-            population_seed: None,
-            min_regs: None,
-            max_regs: None,
-            max_outer_trips: None,
-            max_inner_trips: None,
-            max_body_alu: None,
-            max_body_loads: None,
-            access_energy_pj: None,
-            leakage_mw_per_kb: None,
-            dwm_write_penalty: None,
+            progress: ProgressMode::Human,
         }
     }
 }
 
-fn usage() -> &'static str {
-    "usage: sweep <fig9|fig11|fig12|fig13|fig14|table2|power|repro|gpu-scale|gen-campaign> \
-     [--quick] [--out DIR] [--cache DIR] [--no-cache] [--force] [--threads N] \
-     [--per-point-seeds] [--sm-count N] [--sm-counts A,B,..] \
-     [--access-energy-pj E] [--leakage-mw-per-kb L] [--dwm-write-penalty P] \
-     [--population N] [--seed S] \
-     [--min-regs R] [--max-regs R] [--max-outer-trips N] [--max-inner-trips N] \
-     [--max-body-alu N] [--max-body-loads N]"
+/// The usage line, generated from the registry.
+fn usage() -> String {
+    let commands: Vec<&str> = registry().campaigns().iter().map(|c| c.name).collect();
+    format!(
+        "usage: sweep <{}|list|describe|version> [--out DIR] [--cache DIR] [--no-cache] \
+         [--force] [--threads N] [--progress human|json] [campaign options]\n\
+         `sweep list` prints the campaign index; `sweep describe <campaign>` its options",
+        commands.join("|")
+    )
 }
 
 /// Parses the value after a `--flag VALUE` pair.
@@ -142,23 +95,31 @@ where
         .map_err(|e| format!("{flag}: {e}"))
 }
 
-fn parse_options(args: &[String]) -> Result<CliOptions, String> {
-    let mut options = CliOptions::default();
+/// Parses an invocation's arguments: execution options are handled here,
+/// everything else resolves against the registry's parameter vocabulary —
+/// applied when the campaign accepts the flag, rejected with a
+/// registry-derived scope message when another campaign owns it, and an
+/// unknown-option error otherwise.
+fn parse_invocation(
+    campaign: &Campaign,
+    args: &[String],
+) -> Result<(RuntimeOptions, CampaignParams), String> {
+    let mut runtime = RuntimeOptions::default();
+    let mut params = CampaignParams::default();
+    let registry = registry();
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
         match arg.as_str() {
-            "--quick" => options.quick = true,
-            "--no-cache" => options.cache_dir = None,
-            "--force" => options.force = true,
-            "--per-point-seeds" => options.per_point_seeds = true,
+            "--no-cache" => runtime.cache_dir = None,
+            "--force" => runtime.force = true,
             "--out" => {
-                options.out_dir = iter
+                runtime.out_dir = iter
                     .next()
                     .map(PathBuf::from)
                     .ok_or("--out needs a directory")?;
             }
             "--cache" => {
-                options.cache_dir = Some(
+                runtime.cache_dir = Some(
                     iter.next()
                         .map(PathBuf::from)
                         .ok_or("--cache needs a directory")?,
@@ -166,266 +127,38 @@ fn parse_options(args: &[String]) -> Result<CliOptions, String> {
             }
             "--threads" => {
                 let n: usize = parse_value("--threads", iter.next())?;
-                options.threads = Some(n.max(1));
+                runtime.threads = Some(n.max(1));
             }
-            "--sm-count" => {
-                let n: usize = parse_value("--sm-count", iter.next())?;
-                options.sm_count = Some(n.max(1));
+            "--progress" => {
+                runtime.progress = match iter.next().map(String::as_str) {
+                    Some("human") => ProgressMode::Human,
+                    Some("json") => ProgressMode::Json,
+                    Some(other) => {
+                        return Err(format!("--progress: unknown mode `{other}` (human|json)"))
+                    }
+                    None => return Err("--progress needs a mode (human|json)".to_string()),
+                };
             }
-            "--sm-counts" => {
-                let list = iter.next().ok_or("--sm-counts needs a comma list")?;
-                let counts: Result<Vec<usize>, _> =
-                    list.split(',').map(|c| c.trim().parse::<usize>()).collect();
-                let counts = counts.map_err(|e| format!("--sm-counts: {e}"))?;
-                if counts.is_empty() || counts.contains(&0) {
-                    return Err("--sm-counts needs positive counts".to_string());
+            flag => match registry.param(flag) {
+                Some(spec) if campaign.accepts(spec) => {
+                    let value = if spec.takes_value() {
+                        iter.next().map(String::as_str)
+                    } else {
+                        None
+                    };
+                    spec.apply(&mut params, value)?;
                 }
-                options.sm_counts = Some(counts);
-            }
-            "--population" => options.population = Some(parse_value("--population", iter.next())?),
-            "--seed" => options.population_seed = Some(parse_value("--seed", iter.next())?),
-            "--min-regs" => options.min_regs = Some(parse_value("--min-regs", iter.next())?),
-            "--max-regs" => options.max_regs = Some(parse_value("--max-regs", iter.next())?),
-            "--max-outer-trips" => {
-                options.max_outer_trips = Some(parse_value("--max-outer-trips", iter.next())?)
-            }
-            "--max-inner-trips" => {
-                options.max_inner_trips = Some(parse_value("--max-inner-trips", iter.next())?)
-            }
-            "--max-body-alu" => {
-                options.max_body_alu = Some(parse_value("--max-body-alu", iter.next())?)
-            }
-            "--max-body-loads" => {
-                options.max_body_loads = Some(parse_value("--max-body-loads", iter.next())?)
-            }
-            "--access-energy-pj" => {
-                options.access_energy_pj = Some(parse_value("--access-energy-pj", iter.next())?)
-            }
-            "--leakage-mw-per-kb" => {
-                options.leakage_mw_per_kb = Some(parse_value("--leakage-mw-per-kb", iter.next())?)
-            }
-            "--dwm-write-penalty" => {
-                options.dwm_write_penalty = Some(parse_value("--dwm-write-penalty", iter.next())?)
-            }
-            other => return Err(format!("unknown option `{other}`\n{}", usage())),
+                Some(spec) => return Err(registry.scope_error(campaign, spec)),
+                None => return Err(format!("unknown option `{flag}`\n{}", usage())),
+            },
         }
     }
-    Ok(options)
-}
-
-// ---------------------------------------------------------------------------
-// Flag scoping — every subcommand accepts only its own flags
-// ---------------------------------------------------------------------------
-
-/// Every `sweep` subcommand, in help order.
-const COMMANDS: [&str; 10] = [
-    "fig9",
-    "fig11",
-    "fig12",
-    "fig13",
-    "fig14",
-    "table2",
-    "power",
-    "repro",
-    "gpu-scale",
-    "gen-campaign",
-];
-
-/// The campaigns that take a single `--sm-count` (everything except the
-/// `gpu-scale` axis campaign).
-const SINGLE_SM_COMMANDS: [&str; 9] = [
-    "fig9",
-    "fig11",
-    "fig12",
-    "fig13",
-    "fig14",
-    "table2",
-    "power",
-    "repro",
-    "gen-campaign",
-];
-
-/// The campaigns whose workload axis `--quick` subsets (everything except
-/// `gen-campaign`, which is sized by `--population` instead).
-const SUITE_COMMANDS: [&str; 9] = [
-    "fig9",
-    "fig11",
-    "fig12",
-    "fig13",
-    "fig14",
-    "table2",
-    "power",
-    "repro",
-    "gpu-scale",
-];
-
-/// A flag together with the subcommands it applies to: whether this
-/// invocation gave it, and what to tell the user when it lands on the wrong
-/// subcommand.
-struct FlagScope {
-    /// The flag as typed.
-    flag: &'static str,
-    /// Whether the parsed options carry it.
-    given: bool,
-    /// The subcommands it applies to.
-    commands: &'static [&'static str],
-    /// Appended to the rejection, pointing at the right usage.
-    hint: &'static str,
-}
-
-/// The scope table: one row per subcommand-specific flag. Globally
-/// applicable flags (`--out`, `--cache`, `--no-cache`, `--force`,
-/// `--threads`, `--per-point-seeds`) are deliberately absent.
-fn flag_scopes(options: &CliOptions) -> Vec<FlagScope> {
-    const GEN_HINT: &str = "it configures the generated population (use `sweep gen-campaign`)";
-    const POWER_HINT: &str = "it recalibrates the power model (use `sweep power`)";
-    let scope = |flag, given, commands, hint| FlagScope {
-        flag,
-        given,
-        commands,
-        hint,
-    };
-    vec![
-        scope(
-            "--quick",
-            options.quick,
-            &SUITE_COMMANDS,
-            "size a gen-campaign with --population N instead",
-        ),
-        scope(
-            "--sm-count",
-            options.sm_count.is_some(),
-            &SINGLE_SM_COMMANDS,
-            "use --sm-counts A,B,.. for the gpu-scale axis",
-        ),
-        scope(
-            "--sm-counts",
-            options.sm_counts.is_some(),
-            &["gpu-scale"],
-            "use --sm-count N for a single-count campaign",
-        ),
-        scope(
-            "--population",
-            options.population.is_some(),
-            &["gen-campaign"],
-            GEN_HINT,
-        ),
-        scope(
-            "--seed",
-            options.population_seed.is_some(),
-            &["gen-campaign"],
-            GEN_HINT,
-        ),
-        scope(
-            "--min-regs",
-            options.min_regs.is_some(),
-            &["gen-campaign"],
-            GEN_HINT,
-        ),
-        scope(
-            "--max-regs",
-            options.max_regs.is_some(),
-            &["gen-campaign"],
-            GEN_HINT,
-        ),
-        scope(
-            "--max-outer-trips",
-            options.max_outer_trips.is_some(),
-            &["gen-campaign"],
-            GEN_HINT,
-        ),
-        scope(
-            "--max-inner-trips",
-            options.max_inner_trips.is_some(),
-            &["gen-campaign"],
-            GEN_HINT,
-        ),
-        scope(
-            "--max-body-alu",
-            options.max_body_alu.is_some(),
-            &["gen-campaign"],
-            GEN_HINT,
-        ),
-        scope(
-            "--max-body-loads",
-            options.max_body_loads.is_some(),
-            &["gen-campaign"],
-            GEN_HINT,
-        ),
-        scope(
-            "--access-energy-pj",
-            options.access_energy_pj.is_some(),
-            &["power"],
-            POWER_HINT,
-        ),
-        scope(
-            "--leakage-mw-per-kb",
-            options.leakage_mw_per_kb.is_some(),
-            &["power"],
-            POWER_HINT,
-        ),
-        scope(
-            "--dwm-write-penalty",
-            options.dwm_write_penalty.is_some(),
-            &["power"],
-            POWER_HINT,
-        ),
-    ]
-}
-
-/// Rejects any given flag whose scope excludes `command`, so a request is
-/// never silently ignored. Called once from `main` for every subcommand —
-/// the uniform replacement for the per-subcommand rejection helpers the
-/// `--sm-count`/`--sm-counts` split introduced.
-fn enforce_flag_scopes(options: &CliOptions, command: &str) -> Result<(), String> {
-    for scope in flag_scopes(options) {
-        if scope.given && !scope.commands.contains(&command) {
-            return Err(format!(
-                "{} does not apply to `{command}` (it applies to {}); {}",
-                scope.flag,
-                scope.commands.join("/"),
-                scope.hint
-            ));
-        }
-    }
-    Ok(())
+    Ok((runtime, params))
 }
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let Some((command, rest)) = args.split_first() else {
-        eprintln!("{}", usage());
-        return ExitCode::FAILURE;
-    };
-    if !COMMANDS.contains(&command.as_str()) {
-        eprintln!("sweep: unknown command `{command}`\n{}", usage());
-        return ExitCode::FAILURE;
-    }
-    let options = match parse_options(rest) {
-        Ok(options) => options,
-        Err(message) => {
-            eprintln!("sweep: {message}");
-            return ExitCode::FAILURE;
-        }
-    };
-    if let Err(message) = enforce_flag_scopes(&options, command) {
-        eprintln!("sweep: {message}");
-        return ExitCode::FAILURE;
-    }
-    let outcome = match command.as_str() {
-        "fig9" => run_fig9(&options),
-        "fig11" => run_fig11(&options),
-        "fig12" => run_fig12(&options),
-        "fig13" => run_fig13(&options),
-        "fig14" => run_fig14(&options),
-        "table2" => run_table2(&options),
-        "power" => run_power(&options),
-        "repro" => run_repro(&options),
-        "gpu-scale" => run_gpu_scale(&options),
-        "gen-campaign" => run_gen_campaign(&options),
-        _ => unreachable!("COMMANDS is exhaustive"),
-    };
-    match outcome {
+    match dispatch(&args) {
         Ok(()) => ExitCode::SUCCESS,
         Err(message) => {
             eprintln!("sweep: {message}");
@@ -434,702 +167,265 @@ fn main() -> ExitCode {
     }
 }
 
-fn seed_mode(options: &CliOptions) -> SeedMode {
-    if options.per_point_seeds {
-        SeedMode::PerPoint(CAMPAIGN_SEED)
-    } else {
-        SeedMode::Fixed(CAMPAIGN_SEED)
-    }
-}
-
-/// The CLI's workload selection (`--quick` subset or the full evaluated
-/// suite), as names — the single source of truth behind both
-/// [`workload_axis`] and the campaigns-module constructors.
-fn workload_names(options: &CliOptions) -> Vec<String> {
-    if options.quick {
-        QUICK_SUBSET.iter().map(|w| w.to_string()).collect()
-    } else {
-        ltrf_workloads::evaluated_suite()
-            .iter()
-            .map(|w| w.name().to_string())
-            .collect()
-    }
-}
-
-fn workload_axis(
-    options: &CliOptions,
-    builder: ltrf_sweep::SweepSpecBuilder,
-) -> ltrf_sweep::SweepSpecBuilder {
-    builder.workloads(workload_names(options))
-}
-
-/// The `--sm-count` value for a single-count campaign (default 1). Scope
-/// enforcement already happened in `main`, so this is a plain default.
-fn single_sm_count(options: &CliOptions) -> usize {
-    options.sm_count.unwrap_or(1)
-}
-
-/// The `--sm-counts` axis for gpu-scale (default 1,2,4,8).
-fn sm_count_axis(options: &CliOptions) -> Vec<usize> {
-    options
-        .sm_counts
-        .clone()
-        .unwrap_or_else(|| vec![1, 2, 4, 8])
-}
-
-/// Cache-hit percentage as an integer floor: "100" only when literally
-/// every point was a hit — the CI smoke jobs grep for it, and `{:.0}`
-/// rounding would report 100% at 293/294.
-fn floored_hit_percent(cached: usize, total: usize) -> usize {
-    (cached * 100).checked_div(total).unwrap_or(0)
-}
-
-/// Runs a campaign, writes the JSON/CSV reports, prints the summary, and
-/// hands the results back for figure-specific post-processing.
-fn execute(spec: &SweepSpec, options: &CliOptions) -> Result<SweepResults, String> {
-    let executor = ExecutorOptions {
-        threads: options.threads,
-        cache_dir: options.cache_dir.clone(),
-        force_recompute: options.force,
+/// Routes the first argument: meta-commands, then the registry.
+fn dispatch(args: &[String]) -> Result<(), String> {
+    let Some((command, rest)) = args.split_first() else {
+        return Err(usage());
     };
-    println!(
-        "campaign `{}`: {} points across {} threads",
-        spec.name,
-        spec.points.len(),
-        options.threads.unwrap_or_else(ltrf_sweep::default_threads)
-    );
+    match command.as_str() {
+        "version" | "--version" | "-V" => {
+            print!("{}", version_text());
+            Ok(())
+        }
+        "list" => run_list(rest),
+        "describe" => run_describe(rest),
+        "help" | "--help" | "-h" => {
+            println!("{}", usage());
+            Ok(())
+        }
+        name => match registry().find(name) {
+            Some(campaign) => run_campaign(campaign, rest),
+            None => Err(unknown_command(name)),
+        },
+    }
+}
+
+/// The unknown-subcommand error, with a nearest-registered-name suggestion
+/// (edit distance over campaign names and aliases) when one is plausible.
+fn unknown_command(name: &str) -> String {
+    let suggestion = registry()
+        .suggest(name)
+        .map(|campaign| format!(" (did you mean `{}`?)", campaign.name))
+        .unwrap_or_default();
+    format!("unknown command `{name}`{suggestion}\n{}", usage())
+}
+
+/// `sweep version`: everything a cache-invalidation bug report needs to be
+/// self-describing.
+fn version_text() -> String {
+    format!(
+        "sweep {}\nengine fingerprint: {ENGINE_FINGERPRINT}\ncache schema: v{CACHE_SCHEMA_VERSION}\n",
+        env!("CARGO_PKG_VERSION")
+    )
+}
+
+fn run_list(args: &[String]) -> Result<(), String> {
+    match args {
+        [] => print!("{}", api::list_text()),
+        [flag] if flag == "--json" => println!("{}", api::list_json()),
+        _ => return Err(format!("list takes only --json\n{}", usage())),
+    }
+    Ok(())
+}
+
+fn run_describe(args: &[String]) -> Result<(), String> {
+    let (name, json) = match args {
+        [name] => (name, false),
+        [name, flag] if flag == "--json" => (name, true),
+        [flag, name] if flag == "--json" => (name, true),
+        _ => return Err("usage: sweep describe <campaign> [--json]".to_string()),
+    };
+    let campaign = registry().find(name).ok_or_else(|| unknown_command(name))?;
+    if json {
+        println!("{}", api::describe_value(campaign).to_json());
+    } else {
+        print!("{}", api::describe_text(campaign));
+    }
+    Ok(())
+}
+
+/// Runs a registered campaign: build its specs from the parsed parameters,
+/// execute each through an observed session, write the reports, and render
+/// the summary (human mode) or stream events (json mode).
+fn run_campaign(campaign: &Campaign, args: &[String]) -> Result<(), String> {
+    let (runtime, params) = parse_invocation(campaign, args)?;
+    let specs = campaign.specs(&params)?;
+    let ctx = RenderContext {
+        params: &params,
+        out_dir: &runtime.out_dir,
+    };
+    let human = runtime.progress == ProgressMode::Human;
+    if human {
+        let preamble = (campaign.preamble)(&specs, &ctx);
+        if !preamble.is_empty() {
+            println!("{preamble}");
+        }
+    }
+    let mut all = Vec::with_capacity(specs.len());
+    for spec in &specs {
+        if human && specs.len() > 1 {
+            println!();
+        }
+        all.push(execute(spec, &runtime)?);
+    }
+    if human {
+        (campaign.render)(&all, &ctx)?;
+    }
+    if campaign.fail_on_point_failure {
+        let failed: usize = all.iter().map(SweepResults::failure_count).sum();
+        if failed > 0 {
+            return Err(format!("{failed} {} point(s) failed", campaign.name));
+        }
+    }
+    Ok(())
+}
+
+/// Runs one campaign spec with progress on the event stream, writes the
+/// JSON/CSV reports, prints the summary (human mode), and hands the results
+/// back for the campaign's summary renderer.
+fn execute(spec: &SweepSpec, runtime: &RuntimeOptions) -> Result<SweepResults, String> {
+    let executor = ExecutorOptions {
+        threads: runtime.threads,
+        cache_dir: runtime.cache_dir.clone(),
+        force_recompute: runtime.force,
+    };
+    let threads = runtime.threads.unwrap_or_else(ltrf_sweep::default_threads);
+    let session = CampaignSession::new(spec, &executor);
     let started = Instant::now();
-    let results = run_sweep(spec, &executor);
+    let results = match runtime.progress {
+        ProgressMode::Human => session.run(&|event: &CampaignEvent| match event {
+            CampaignEvent::CampaignStarted { campaign, points } => {
+                println!("campaign `{campaign}`: {points} points across {threads} threads");
+            }
+            CampaignEvent::PointFailed {
+                workload,
+                organization,
+                config_id,
+                error,
+                ..
+            } => {
+                eprintln!("  FAILED {workload} / {organization} config {config_id}: {error}");
+            }
+            _ => {}
+        }),
+        ProgressMode::Json => {
+            session.run(&|event: &CampaignEvent| println!("{}", event.to_json_line()))
+        }
+    };
     let elapsed = started.elapsed();
 
-    std::fs::create_dir_all(&options.out_dir)
-        .map_err(|e| format!("cannot create {}: {e}", options.out_dir.display()))?;
-    let json_path = options.out_dir.join(format!("{}.json", spec.name));
-    let csv_path = options.out_dir.join(format!("{}.csv", spec.name));
+    std::fs::create_dir_all(&runtime.out_dir)
+        .map_err(|e| format!("cannot create {}: {e}", runtime.out_dir.display()))?;
+    let json_path = runtime.out_dir.join(format!("{}.json", spec.name));
+    let csv_path = runtime.out_dir.join(format!("{}.csv", spec.name));
     report::write_json(&results, &json_path)
         .map_err(|e| format!("writing {}: {e}", json_path.display()))?;
     report::write_csv(&results, &csv_path)
         .map_err(|e| format!("writing {}: {e}", csv_path.display()))?;
 
-    let rate = floored_hit_percent(results.cached_count(), results.len());
-    println!(
-        "  {} computed, {} from cache ({rate}% hit rate), {} failed, {:.2?} wall clock",
-        results.computed_count(),
-        results.cached_count(),
-        results.failure_count(),
-        elapsed
-    );
-    println!(
-        "  reports: {} and {}",
-        json_path.display(),
-        csv_path.display()
-    );
-    for record in results.records.iter().filter(|r| r.outcome.is_failure()) {
-        eprintln!(
-            "  FAILED {} / {} config {}: {:?}",
-            record.point.workload,
-            record.point.config.organization.label(),
-            record.point.config.mrf_config.id,
-            record.outcome
+    if runtime.progress == ProgressMode::Human {
+        let rate = ltrf_sweep::floored_hit_percent(results.cached_count(), results.len());
+        println!(
+            "  {} computed, {} from cache ({rate}% hit rate), {} failed, {:.2?} wall clock",
+            results.computed_count(),
+            results.cached_count(),
+            results.failure_count(),
+            elapsed
+        );
+        println!(
+            "  reports: {} and {}",
+            json_path.display(),
+            csv_path.display()
         );
     }
     Ok(results)
-}
-
-// ---------------------------------------------------------------------------
-// fig9 — six organizations × the suite on configurations #6 and #7
-// ---------------------------------------------------------------------------
-
-fn run_fig9(options: &CliOptions) -> Result<(), String> {
-    let sm_count = single_sm_count(options);
-    // The canonical constructor (shared with the golden-file regression
-    // test, which pins this campaign's CSV byte for byte).
-    let spec = campaigns::fig9_spec(workload_names(options), sm_count, seed_mode(options));
-    let results = execute(&spec, options)?;
-
-    for config_id in [6u8, 7] {
-        println!(
-            "\nFigure 9{}: configuration #{config_id}, mean IPC normalized to baseline",
-            if config_id == 6 { 'a' } else { 'b' }
-        );
-        // organization label → (sum, count)
-        let mut by_org: BTreeMap<&str, (f64, usize)> = BTreeMap::new();
-        for (record, data) in results.successes() {
-            if record.point.config.mrf_config.id.0 != config_id {
-                continue;
-            }
-            let entry = by_org
-                .entry(record.point.config.organization.label())
-                .or_insert((0.0, 0));
-            entry.0 += data.normalized_ipc.unwrap_or(0.0);
-            entry.1 += 1;
-        }
-        for org in FIG9_ORGS {
-            if let Some((sum, count)) = by_org.get(org.label()) {
-                println!("  {:<14} {:.3}", org.label(), sum / *count as f64);
-            }
-        }
-    }
-    Ok(())
-}
-
-// ---------------------------------------------------------------------------
-// fig11 — maximum tolerable register-file latency
-// ---------------------------------------------------------------------------
-
-fn run_fig11(options: &CliOptions) -> Result<(), String> {
-    let sm_count = single_sm_count(options);
-    // The canonical constructor (shared with the `fig11` harness binary).
-    let spec = campaigns::fig11_spec(workload_names(options), sm_count, seed_mode(options));
-    let results = execute(&spec, options)?;
-
-    // The paper's default allowed IPC loss (§6.3).
-    const ALLOWED_LOSS: f64 = 0.05;
-    // (workload, org) → latency-factor bits → ipc
-    let mut curves: BTreeMap<(String, Organization), BTreeMap<u64, f64>> = BTreeMap::new();
-    for (record, data) in results.successes() {
-        let factor = record.point.config.latency_factor();
-        curves
-            .entry((
-                record.point.workload.clone(),
-                record.point.config.organization,
-            ))
-            .or_default()
-            .insert(factor.to_bits(), data.result.ipc);
-    }
-    println!("\nFigure 11: maximum tolerable latency at 5% IPC loss (mean over workloads)");
-    let mut tolerance_by_org: BTreeMap<&str, (f64, usize)> = BTreeMap::new();
-    for ((_, org), curve) in &curves {
-        let reference = curve.get(&1.0f64.to_bits()).copied().unwrap_or(0.0);
-        if reference <= 0.0 {
-            continue;
-        }
-        // Delegate the curve assembly and tolerance definition to the core
-        // metric (shared with the `fig11` harness binary).
-        let ipc_points: Vec<(f64, f64)> = curve
-            .iter()
-            .map(|(&bits, &ipc)| (f64::from_bits(bits), ipc))
-            .collect();
-        let Some(sweep) = ltrf_core::LatencySweep::from_ipc_points(*org, &ipc_points) else {
-            continue;
-        };
-        let entry = tolerance_by_org.entry(org.label()).or_insert((0.0, 0));
-        entry.0 += sweep.max_tolerable_latency(ALLOWED_LOSS);
-        entry.1 += 1;
-    }
-    for org in FIG11_ORGS {
-        if let Some((sum, count)) = tolerance_by_org.get(org.label()) {
-            println!("  {:<8} {:.2}x", org.label(), sum / *count as f64);
-        }
-    }
-    Ok(())
-}
-
-// ---------------------------------------------------------------------------
-// fig12/fig13/fig14 — latency sweeps over design parameters and schemes
-// ---------------------------------------------------------------------------
-
-/// One summary row of a latency-sweep campaign: a label and the predicate
-/// selecting the series' points.
-type LatencySeries<'a> = (String, Box<dyn Fn(&PointRecord) -> bool + 'a>);
-
-/// Prints a latency-sweep summary table: one row per series, one column per
-/// latency factor, via the engine's canonical
-/// [`ltrf_sweep::relative_ipc_series`] aggregation (the CSV report carries
-/// the raw per-point rows).
-fn print_latency_series(results: &SweepResults, factors: &[f64], series: &[LatencySeries<'_>]) {
-    print!("  {:<22}", "Series");
-    for factor in factors {
-        print!(" {factor:>5.0}x");
-    }
-    println!();
-    for (label, select) in series {
-        match ltrf_sweep::relative_ipc_series(results, factors, select.as_ref()) {
-            Some(means) => {
-                print!("  {label:<22}");
-                for mean in means {
-                    print!(" {mean:>6.2}");
-                }
-                println!();
-            }
-            None => println!("  {label:<22} (no complete curves)"),
-        }
-    }
-}
-
-fn run_fig12(options: &CliOptions) -> Result<(), String> {
-    let sm_count = single_sm_count(options);
-    // The canonical constructor (shared with the golden-file regression
-    // test, which pins this campaign's CSV byte for byte, and with the
-    // `fig12` harness binary).
-    let spec = campaigns::fig12_spec(workload_names(options), sm_count, seed_mode(options));
-    let results = execute(&spec, options)?;
-    let factors = ltrf_core::paper_latency_factors();
-    println!(
-        "\nFigure 12: LTRF IPC (relative to the 1x point) vs. MRF latency, \
-         by registers per register-interval"
-    );
-    let series: Vec<LatencySeries> = campaigns::FIG12_INTERVAL_SIZES
-        .into_iter()
-        .map(|n| {
-            (
-                format!("{n} regs"),
-                Box::new(move |r: &PointRecord| r.point.config.registers_per_interval == n)
-                    as Box<dyn Fn(&PointRecord) -> bool>,
-            )
-        })
-        .collect();
-    print_latency_series(&results, &factors, &series);
-    Ok(())
-}
-
-fn run_fig13(options: &CliOptions) -> Result<(), String> {
-    let sm_count = single_sm_count(options);
-    let spec = campaigns::fig13_spec(workload_names(options), sm_count, seed_mode(options));
-    let results = execute(&spec, options)?;
-    let factors = ltrf_core::paper_latency_factors();
-    println!("\nFigure 13: LTRF IPC (relative to the 1x point) vs. MRF latency, by active warps");
-    let series: Vec<LatencySeries> = campaigns::FIG13_WARP_COUNTS
-        .into_iter()
-        .map(|warps| {
-            (
-                format!("{warps} warps"),
-                Box::new(move |r: &PointRecord| r.point.config.active_warps == warps)
-                    as Box<dyn Fn(&PointRecord) -> bool>,
-            )
-        })
-        .collect();
-    print_latency_series(&results, &factors, &series);
-    Ok(())
-}
-
-fn run_fig14(options: &CliOptions) -> Result<(), String> {
-    let sm_count = single_sm_count(options);
-    let spec = campaigns::fig14_spec(workload_names(options), sm_count, seed_mode(options));
-    let results = execute(&spec, options)?;
-    let factors = ltrf_core::paper_latency_factors();
-    println!("\nFigure 14: IPC (relative to each scheme's 1x point) vs. MRF latency, by scheme");
-    let series: Vec<LatencySeries> = campaigns::FIG14_ORGS
-        .into_iter()
-        .map(|org| {
-            (
-                org.label().to_string(),
-                Box::new(move |r: &PointRecord| r.point.config.organization == org)
-                    as Box<dyn Fn(&PointRecord) -> bool>,
-            )
-        })
-        .collect();
-    print_latency_series(&results, &factors, &series);
-    Ok(())
-}
-
-// ---------------------------------------------------------------------------
-// power — register-file power across every Table 2 design point
-// ---------------------------------------------------------------------------
-
-/// Assembles the power-model calibration from the CLI overrides, with
-/// friendly errors instead of the library's campaign-definition panics.
-fn power_calibration(options: &CliOptions) -> Result<PowerParams, String> {
-    let defaults = PowerParams::default();
-    let params = PowerParams {
-        base_access_pj: options.access_energy_pj.unwrap_or(defaults.base_access_pj),
-        base_leakage_mw_per_kb: options
-            .leakage_mw_per_kb
-            .unwrap_or(defaults.base_leakage_mw_per_kb),
-        dwm_write_penalty: options
-            .dwm_write_penalty
-            .unwrap_or(defaults.dwm_write_penalty),
-    };
-    params.validate().map_err(|complaint| {
-        // The library complains in field names; translate to the CLI flags.
-        let complaint = complaint
-            .replace("base_access_pj", "--access-energy-pj")
-            .replace("base_leakage_mw_per_kb", "--leakage-mw-per-kb")
-            .replace("dwm_write_penalty", "--dwm-write-penalty");
-        format!("power calibration: {complaint}")
-    })?;
-    Ok(params)
-}
-
-fn run_power(options: &CliOptions) -> Result<(), String> {
-    let sm_count = single_sm_count(options);
-    let params = power_calibration(options)?;
-    println!(
-        "power sweep: RFC/LTRF/LTRF+ on configurations #1..#7, normalized to baseline \
-         (calibration: {} pJ/access, {} mW/KB leakage, {}x DWM write penalty)",
-        params.base_access_pj, params.base_leakage_mw_per_kb, params.dwm_write_penalty
-    );
-    let spec = campaigns::power_sweep_spec(
-        workload_names(options),
-        sm_count,
-        seed_mode(options),
-        params,
-    );
-    let results = execute(&spec, options)?;
-
-    println!("\nMean normalized register-file power per design point (suite mean):");
-    print!("  {:<4}", "id");
-    for org in POWER_ORGS {
-        print!(" {:>8}", org.label());
-    }
-    println!();
-    for config_id in 1..=7u8 {
-        print!("  #{config_id:<3}");
-        for org in POWER_ORGS {
-            let values: Vec<f64> = results
-                .successes()
-                .filter(|(r, _)| {
-                    r.point.config.mrf_config.id.0 == config_id
-                        && r.point.config.organization == org
-                })
-                .filter_map(|(_, d)| d.normalized_power)
-                .collect();
-            let mean = if values.is_empty() {
-                f64::NAN
-            } else {
-                values.iter().sum::<f64>() / values.len() as f64
-            };
-            print!(" {mean:>8.3}");
-        }
-        println!();
-    }
-    println!(
-        "  (the configuration #7 row is Figure 10; the paper reports 0.65 / 0.65 / 0.54 there)"
-    );
-    Ok(())
-}
-
-// ---------------------------------------------------------------------------
-// repro — the full paper-artifact set into one directory
-// ---------------------------------------------------------------------------
-
-fn run_repro(options: &CliOptions) -> Result<(), String> {
-    let sm_count = single_sm_count(options);
-    let workloads = workload_names(options);
-    let specs = campaigns::repro_specs(&workloads, sm_count, seed_mode(options));
-    println!(
-        "repro: {} campaigns over {} workload(s){} into {}",
-        specs.len(),
-        workloads.len(),
-        if options.quick { " (--quick)" } else { "" },
-        options.out_dir.display()
-    );
-    let mut points = 0usize;
-    let mut cached = 0usize;
-    let mut failed = 0usize;
-    let mut artifacts = Vec::new();
-    for spec in &specs {
-        println!();
-        let results = execute(spec, options)?;
-        points += results.len();
-        cached += results.cached_count();
-        failed += results.failure_count();
-        artifacts.push(format!("{}.csv", spec.name));
-    }
-    let rate = floored_hit_percent(cached, points);
-    println!(
-        "\nrepro total: {points} points across {} campaigns, {cached} from cache \
-         ({rate}% hit rate), {failed} failed",
-        specs.len()
-    );
-    println!(
-        "artifacts in {}: {} (plus the matching .json reports); \
-         see REPRODUCING.md for the figure-by-figure atlas",
-        options.out_dir.display(),
-        artifacts.join(", ")
-    );
-    if failed > 0 {
-        return Err(format!("{failed} repro point(s) failed"));
-    }
-    Ok(())
-}
-
-// ---------------------------------------------------------------------------
-// table2 — the seven design points, swept under BL and LTRF
-// ---------------------------------------------------------------------------
-
-fn run_table2(options: &CliOptions) -> Result<(), String> {
-    println!("Table 2: register-file design points (calibrated)");
-    println!(
-        "  {:<4} {:<10} {:>9} {:>8} {:>8} {:>9}",
-        "id", "tech", "capacity", "area", "power", "latency"
-    );
-    for config in RegFileConfig::table2() {
-        println!(
-            "  {:<4} {:<10} {:>8.1}x {:>7.2}x {:>7.2}x {:>8.2}x",
-            config.id.to_string(),
-            config.technology.name(),
-            config.capacity_factor,
-            config.area_factor,
-            config.power_factor,
-            config.latency_factor
-        );
-    }
-
-    let sm_count = single_sm_count(options);
-    // The canonical constructor (its configuration #6/#7 BL/LTRF points are
-    // the same cache entries fig9 computes).
-    let spec = campaigns::table2_spec(workload_names(options), sm_count, seed_mode(options));
-    let results = execute(&spec, options)?;
-
-    println!("\nMean normalized IPC per design point:");
-    println!("  {:<4} {:>8} {:>8}", "id", "BL", "LTRF");
-    for config_id in 1..=7u8 {
-        let mean = |org: Organization| {
-            let values: Vec<f64> = results
-                .successes()
-                .filter(|(r, _)| {
-                    r.point.config.mrf_config.id.0 == config_id
-                        && r.point.config.organization == org
-                })
-                .filter_map(|(_, d)| d.normalized_ipc)
-                .collect();
-            if values.is_empty() {
-                f64::NAN
-            } else {
-                values.iter().sum::<f64>() / values.len() as f64
-            }
-        };
-        println!(
-            "  #{config_id:<3} {:>8.3} {:>8.3}",
-            mean(Organization::Baseline),
-            mean(Organization::Ltrf)
-        );
-    }
-    Ok(())
-}
-
-// ---------------------------------------------------------------------------
-// gpu-scale — BL and LTRF across SM counts, contending for the shared L2/DRAM
-// ---------------------------------------------------------------------------
-
-fn run_gpu_scale(options: &CliOptions) -> Result<(), String> {
-    let sm_counts = sm_count_axis(options);
-    let spec = workload_axis(options, SweepSpec::builder("gpu-scale"))
-        .organizations([Organization::Baseline, Organization::Ltrf])
-        .config_ids([6])
-        .sm_counts(sm_counts.iter().copied())
-        .seed_mode(seed_mode(options))
-        .normalize(true)
-        .build();
-    let results = execute(&spec, options)?;
-
-    println!(
-        "\nGPU scaling on configuration #6 (grid weak-scaled with the SM count; \
-         means over workloads):"
-    );
-    println!(
-        "  {:<5} {:<6} {:>9} {:>9} {:>8} {:>9} {:>12}",
-        "SMs", "org", "IPC", "IPC/SM", "norm", "L2 hit", "DRAM row-hit"
-    );
-    for (sm_count, org, means) in ltrf_sweep::PointMeans::grouped(
-        &results,
-        &sm_counts,
-        &[Organization::Baseline, Organization::Ltrf],
-    ) {
-        println!(
-            "  {:<5} {:<6} {:>9.3} {:>9.3} {:>8.3} {:>8.1}% {:>11.1}%",
-            sm_count,
-            org.label(),
-            means.ipc,
-            means.ipc / sm_count.max(1) as f64,
-            means.normalized_ipc,
-            means.l2_hit_rate * 100.0,
-            means.dram_row_hit_rate * 100.0
-        );
-    }
-    Ok(())
-}
-
-// ---------------------------------------------------------------------------
-// gen-campaign — BL and LTRF over a seeded random kernel population
-// ---------------------------------------------------------------------------
-
-/// Assembles the generator bounds from the CLI overrides, with friendly
-/// errors instead of the library's campaign-definition panics.
-fn generator_config(options: &CliOptions) -> Result<GeneratorConfig, String> {
-    let defaults = GeneratorConfig::default();
-    let config = GeneratorConfig {
-        min_regs: options.min_regs.unwrap_or(defaults.min_regs),
-        max_regs: options.max_regs.unwrap_or(defaults.max_regs),
-        max_outer_trips: options.max_outer_trips.unwrap_or(defaults.max_outer_trips),
-        max_inner_trips: options.max_inner_trips.unwrap_or(defaults.max_inner_trips),
-        max_body_alu: options.max_body_alu.unwrap_or(defaults.max_body_alu),
-        max_body_loads: options.max_body_loads.unwrap_or(defaults.max_body_loads),
-    };
-    config
-        .validate()
-        .map_err(|complaint| format!("generator bounds: {complaint}"))?;
-    Ok(config)
-}
-
-fn run_gen_campaign(options: &CliOptions) -> Result<(), String> {
-    let sm_count = single_sm_count(options);
-    let params = GenCampaignParams {
-        population: options.population.unwrap_or(64),
-        population_seed: options.population_seed.unwrap_or(CAMPAIGN_SEED),
-        config: generator_config(options)?,
-        sm_count,
-        seed_mode: seed_mode(options),
-    };
-    if params.population == 0 {
-        return Err("--population must be at least 1".to_string());
-    }
-    println!(
-        "generated campaign: population {} from seed {} (regs {}..={}, trips <=({}x{}), \
-         body <=({} alu, {} loads)), BL vs LTRF on configuration #6",
-        params.population,
-        params.population_seed,
-        params.config.min_regs,
-        params.config.max_regs,
-        params.config.max_outer_trips,
-        params.config.max_inner_trips,
-        params.config.max_body_alu,
-        params.config.max_body_loads
-    );
-    let spec = campaigns::gen_campaign_spec(&params);
-    let results = execute(&spec, options)?;
-
-    println!("\nPopulation means (IPC normalized to baseline on the same member):");
-    println!(
-        "  {:<6} {:>7} {:>9} {:>8} {:>9} {:>12}",
-        "org", "points", "IPC", "norm", "L2 hit", "DRAM row-hit"
-    );
-    for (_, org, means) in
-        ltrf_sweep::PointMeans::grouped(&results, &[sm_count], &GEN_CAMPAIGN_ORGS)
-    {
-        println!(
-            "  {:<6} {:>7} {:>9.3} {:>8.3} {:>8.1}% {:>11.1}%",
-            org.label(),
-            means.count,
-            means.ipc,
-            means.normalized_ipc,
-            means.l2_hit_rate * 100.0,
-            means.dram_row_hit_rate * 100.0
-        );
-    }
-    // Where LTRF wins and loses across the population (the tails are what a
-    // fixed 14-benchmark suite cannot show).
-    let mut ltrf_norms: Vec<(u32, f64)> = results
-        .successes()
-        .filter(|(r, _)| r.point.config.organization == Organization::Ltrf)
-        .filter_map(|(r, d)| {
-            let g = r.point.generated?;
-            Some((g.index, d.normalized_ipc?))
-        })
-        .collect();
-    if !ltrf_norms.is_empty() {
-        ltrf_norms.sort_by(|a, b| a.1.total_cmp(&b.1));
-        let (worst_index, worst) = ltrf_norms[0];
-        let (best_index, best) = *ltrf_norms.last().expect("non-empty");
-        let wins = ltrf_norms.iter().filter(|(_, n)| *n > 1.0).count();
-        println!(
-            "  LTRF speeds up {wins}/{} members; member #{best_index} best ({best:.3}x), \
-             member #{worst_index} worst ({worst:.3}x)",
-            ltrf_norms.len()
-        );
-    }
-    Ok(())
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
 
-    /// Options with exactly one scoped flag given.
-    fn with<F: FnOnce(&mut CliOptions)>(set: F) -> CliOptions {
-        let mut options = CliOptions::default();
-        set(&mut options);
-        options
+    fn strings(args: &[&str]) -> Vec<String> {
+        args.iter().map(|s| (*s).to_string()).collect()
     }
 
     #[test]
-    fn every_scoped_flag_names_only_known_commands() {
-        for scope in flag_scopes(&CliOptions::default()) {
-            assert!(
-                !scope.commands.is_empty(),
-                "{} has an empty scope",
-                scope.flag
-            );
-            for command in scope.commands {
-                assert!(
-                    COMMANDS.contains(command),
-                    "{} is scoped to unknown command `{command}`",
-                    scope.flag
-                );
-            }
-        }
-    }
-
-    #[test]
-    fn unscoped_invocations_pass_everywhere() {
-        let options = CliOptions::default();
-        for command in COMMANDS {
-            assert!(
-                enforce_flag_scopes(&options, command).is_ok(),
-                "default options rejected on `{command}`"
-            );
+    fn every_documented_invocation_still_parses() {
+        let registry = registry();
+        // The REPRODUCING.md command lines, verbatim.
+        let invocations: &[(&str, &[&str])] = &[
+            ("repro", &["--quick"]),
+            ("repro", &[]),
+            (
+                "fig9",
+                &["--quick", "--out", "ci-out", "--cache", "ci-cache"],
+            ),
+            ("gen-campaign", &["--population", "8", "--seed", "7"]),
+            ("gpu-scale", &["--sm-counts", "1,2,4,8"]),
+            ("power", &["--quick", "--access-energy-pj", "75"]),
+            (
+                "power",
+                &[
+                    "--quick",
+                    "--leakage-mw-per-kb",
+                    "0.3",
+                    "--dwm-write-penalty",
+                    "2.0",
+                ],
+            ),
+            ("fig12", &["--sm-count", "4", "--per-point-seeds"]),
+            ("table2", &["--threads", "2", "--no-cache", "--force"]),
+        ];
+        for (name, args) in invocations {
+            let campaign = registry.find(name).expect(name);
+            parse_invocation(campaign, &strings(args))
+                .unwrap_or_else(|e| panic!("`sweep {name} {}` broke: {e}", args.join(" ")));
         }
     }
 
     #[test]
     fn out_of_scope_flags_are_rejected_with_a_pointer() {
-        // --sm-counts belongs to gpu-scale alone.
-        let axis = with(|o| o.sm_counts = Some(vec![1, 2]));
-        for command in COMMANDS {
-            let verdict = enforce_flag_scopes(&axis, command);
-            if command == "gpu-scale" {
-                assert!(verdict.is_ok());
-            } else {
-                let message = verdict.unwrap_err();
-                assert!(message.contains("--sm-counts"), "{message}");
-                assert!(message.contains("--sm-count N"), "hint present: {message}");
-            }
-        }
-        // --sm-count applies everywhere except gpu-scale.
-        let single = with(|o| o.sm_count = Some(4));
-        assert!(enforce_flag_scopes(&single, "fig12").is_ok());
-        assert!(enforce_flag_scopes(&single, "repro").is_ok());
-        assert!(enforce_flag_scopes(&single, "gpu-scale").is_err());
-        // Generator flags belong to gen-campaign alone.
-        let generator = with(|o| o.max_regs = Some(96));
-        assert!(enforce_flag_scopes(&generator, "gen-campaign").is_ok());
-        let message = enforce_flag_scopes(&generator, "power").unwrap_err();
-        assert!(message.contains("gen-campaign"), "{message}");
-        // Power knobs belong to power alone — including under repro, whose
-        // artifacts are pinned to the canonical calibration.
-        let calibrated = with(|o| o.access_energy_pj = Some(75.0));
-        assert!(enforce_flag_scopes(&calibrated, "power").is_ok());
-        let message = enforce_flag_scopes(&calibrated, "repro").unwrap_err();
+        let registry = registry();
+        let fig9 = registry.find("fig9").unwrap();
+        let message = parse_invocation(fig9, &strings(&["--sm-counts", "1,2"])).unwrap_err();
+        assert!(message.contains("--sm-counts"), "{message}");
+        assert!(message.contains("gpu-scale"), "{message}");
+        assert!(message.contains("--sm-count N"), "hint present: {message}");
+
+        let gpu_scale = registry.find("gpu-scale").unwrap();
+        let message = parse_invocation(gpu_scale, &strings(&["--sm-count", "4"])).unwrap_err();
+        assert!(message.contains("--sm-count does not apply"), "{message}");
+
+        let repro = registry.find("repro").unwrap();
+        let message = parse_invocation(repro, &strings(&["--access-energy-pj", "75"])).unwrap_err();
         assert!(message.contains("sweep power"), "{message}");
-        // --quick sizes suite campaigns, not generated populations.
-        let quick = with(|o| o.quick = true);
-        assert!(enforce_flag_scopes(&quick, "repro").is_ok());
-        let message = enforce_flag_scopes(&quick, "gen-campaign").unwrap_err();
+
+        let gen = registry.find("gen-campaign").unwrap();
+        let message = parse_invocation(gen, &strings(&["--quick"])).unwrap_err();
         assert!(message.contains("--population"), "{message}");
+
+        let message = parse_invocation(fig9, &strings(&["--frobnicate"])).unwrap_err();
+        assert!(message.contains("unknown option"), "{message}");
     }
 
     #[test]
-    fn hit_percent_floors_instead_of_rounding() {
-        assert_eq!(floored_hit_percent(294, 294), 100);
-        assert_eq!(floored_hit_percent(293, 294), 99, "never round up to 100");
-        assert_eq!(floored_hit_percent(0, 294), 0);
-        assert_eq!(floored_hit_percent(0, 0), 0);
+    fn progress_modes_parse_and_reject() {
+        let fig9 = registry().find("fig9").unwrap();
+        let (runtime, _) = parse_invocation(fig9, &strings(&["--progress", "json"])).unwrap();
+        assert_eq!(runtime.progress, ProgressMode::Json);
+        let (runtime, _) = parse_invocation(fig9, &strings(&["--progress", "human"])).unwrap();
+        assert_eq!(runtime.progress, ProgressMode::Human);
+        let message = parse_invocation(fig9, &strings(&["--progress", "xml"])).unwrap_err();
+        assert!(message.contains("human|json"), "{message}");
     }
 
     #[test]
-    fn power_calibration_defaults_and_validates() {
-        assert_eq!(
-            power_calibration(&CliOptions::default()).unwrap(),
-            PowerParams::default()
+    fn unknown_commands_suggest_the_nearest_campaign() {
+        let message = unknown_command("fig12x");
+        assert!(message.contains("did you mean `fig12`?"), "{message}");
+        let message = unknown_command("zzzzz");
+        assert!(!message.contains("did you mean"), "{message}");
+        assert!(message.contains("usage:"), "{message}");
+    }
+
+    #[test]
+    fn version_text_is_self_describing() {
+        let text = version_text();
+        assert!(text.contains(env!("CARGO_PKG_VERSION")), "{text}");
+        assert!(text.contains("engine fingerprint"), "{text}");
+        assert!(
+            text.contains(&format!("cache schema: v{CACHE_SCHEMA_VERSION}")),
+            "{text}"
         );
-        let overridden = power_calibration(&with(|o| o.access_energy_pj = Some(75.0))).unwrap();
-        assert_eq!(overridden.base_access_pj, 75.0);
-        assert_eq!(
-            overridden.base_leakage_mw_per_kb,
-            PowerParams::default().base_leakage_mw_per_kb
-        );
-        let bad = power_calibration(&with(|o| o.dwm_write_penalty = Some(-1.0)));
-        assert!(bad.unwrap_err().contains("--dwm-write-penalty"));
     }
 }

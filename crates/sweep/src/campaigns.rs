@@ -332,6 +332,26 @@ pub fn repro_specs<S: Into<String> + Clone>(
     ]
 }
 
+/// The GPU-scaling campaign: BL and LTRF × the given workloads on
+/// configuration #6 across an SM-count axis, normalized, grids weak-scaled
+/// — exactly what `sweep gpu-scale` runs and what `ltrf-bench`'s
+/// `gpu_scale` rows aggregate.
+#[must_use]
+pub fn gpu_scale_spec<S: Into<String>>(
+    workloads: impl IntoIterator<Item = S>,
+    sm_counts: &[usize],
+    seed_mode: SeedMode,
+) -> SweepSpec {
+    SweepSpec::builder("gpu-scale")
+        .workloads(workloads)
+        .organizations([Organization::Baseline, Organization::Ltrf])
+        .config_ids([6])
+        .sm_counts(sm_counts.iter().copied())
+        .seed_mode(seed_mode)
+        .normalize(true)
+        .build()
+}
+
 /// Parameters of a generated-workload campaign.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct GenCampaignParams {

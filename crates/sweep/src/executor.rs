@@ -1,16 +1,23 @@
 //! The sharded campaign executor.
 //!
-//! [`run_sweep`] takes a [`SweepSpec`] and evaluates every point across all
-//! cores: workers claim points from a shared queue (so uneven point costs
-//! balance out), each point runs under panic isolation, per-point seeds
-//! follow the spec's [`SeedMode`](crate::SeedMode), and — when a cache is
-//! attached — outcomes
-//! are served from and stored to the content-addressed [`ResultCache`].
+//! [`CampaignSession`] takes a [`SweepSpec`] and evaluates every point
+//! across all cores: workers claim points from a shared queue (so uneven
+//! point costs balance out), each point runs under panic isolation,
+//! per-point seeds follow the spec's [`SeedMode`](crate::SeedMode), and —
+//! when a cache is attached — outcomes are served from and stored to the
+//! content-addressed [`ResultCache`]. While the session runs it emits a
+//! typed [`CampaignEvent`] stream to a [`CampaignObserver`] (the `sweep`
+//! CLI's progress printing — human or `--progress json` — and the bench
+//! harness's failure reporting both ride this stream); the batch
+//! [`run_sweep`] call is a thin unobserved wrapper kept for callers that
+//! only want the final [`SweepResults`].
 
 use std::collections::HashMap;
 use std::path::PathBuf;
+use std::sync::mpsc;
+use std::sync::Mutex;
 
-use serde::{Deserialize, Serialize};
+use serde::{Deserialize, Serialize, Value};
 
 use ltrf_core::{run_experiment, run_normalized, RunResult};
 use ltrf_workloads::{evaluated_suite, Workload};
@@ -293,63 +300,382 @@ pub struct ExecutorOptions {
     pub force_recompute: bool,
 }
 
-/// Runs a campaign.
+// ---------------------------------------------------------------------------
+// The event stream — typed progress emitted while a session runs
+// ---------------------------------------------------------------------------
+
+/// A typed progress event emitted by a [`CampaignSession`] while it runs.
+///
+/// Events for different points interleave freely (workers claim points from
+/// a shared queue), so every per-point event carries the point's index into
+/// [`SweepSpec::points`]. Per campaign, the stream always contains exactly
+/// one `CampaignStarted`, then one `PointStarted` and one terminal
+/// `PointFinished` *or* `PointFailed` per point, and finally exactly one
+/// `CampaignFinished` whose counts match the returned [`SweepResults`].
+///
+/// [`CampaignEvent::to_json_line`] renders an event as the stable
+/// line-delimited JSON schema behind the CLI's `--progress json` mode
+/// (documented in `REPRODUCING.md`).
+#[derive(Debug, Clone, PartialEq)]
+pub enum CampaignEvent {
+    /// The session is about to evaluate the campaign's points.
+    CampaignStarted {
+        /// Campaign name (from the spec).
+        campaign: String,
+        /// Number of points the campaign will evaluate.
+        points: usize,
+    },
+    /// A worker claimed a point and is about to resolve it.
+    PointStarted {
+        /// Index into [`SweepSpec::points`].
+        index: usize,
+        /// The point's workload name.
+        workload: String,
+        /// The point's register-file organization label.
+        organization: &'static str,
+    },
+    /// A point resolved successfully (computed, or served from the cache).
+    PointFinished {
+        /// Index into [`SweepSpec::points`].
+        index: usize,
+        /// Whether the outcome was served from the result cache.
+        cache_hit: bool,
+    },
+    /// A point failed (runner error or isolated panic); the campaign
+    /// continues.
+    PointFailed {
+        /// Index into [`SweepSpec::points`].
+        index: usize,
+        /// The point's workload name.
+        workload: String,
+        /// The point's register-file organization label.
+        organization: &'static str,
+        /// The point's Table 2 design point (disambiguates multi-config
+        /// campaigns in failure reports).
+        config_id: u8,
+        /// The error or panic payload.
+        error: String,
+    },
+    /// Every point resolved; the campaign's results are final.
+    CampaignFinished {
+        /// Campaign name (from the spec).
+        campaign: String,
+        /// Points computed in this run.
+        computed: usize,
+        /// Points served from the cache.
+        cached: usize,
+        /// Points that failed.
+        failed: usize,
+        /// Fraction of points served from the cache, in `[0, 1]` (matches
+        /// [`SweepResults::cache_hit_rate`]).
+        hit_rate: f64,
+    },
+}
+
+impl CampaignEvent {
+    /// Renders the event as one line of the CLI's `--progress json` stream:
+    /// a flat JSON object whose `event` field is the snake_case variant
+    /// name, followed by the variant's fields. The schema is documented in
+    /// `REPRODUCING.md` and pinned by the registry tests.
+    #[must_use]
+    pub fn to_json_line(&self) -> String {
+        let obj = |fields: Vec<(&str, Value)>| {
+            Value::Object(
+                fields
+                    .into_iter()
+                    .map(|(k, v)| (k.to_string(), v))
+                    .collect(),
+            )
+            .to_json()
+        };
+        match self {
+            CampaignEvent::CampaignStarted { campaign, points } => obj(vec![
+                ("event", Value::Str("campaign_started".into())),
+                ("campaign", Value::Str(campaign.clone())),
+                ("points", Value::UInt(*points as u64)),
+            ]),
+            CampaignEvent::PointStarted {
+                index,
+                workload,
+                organization,
+            } => obj(vec![
+                ("event", Value::Str("point_started".into())),
+                ("index", Value::UInt(*index as u64)),
+                ("workload", Value::Str(workload.clone())),
+                ("organization", Value::Str((*organization).to_string())),
+            ]),
+            CampaignEvent::PointFinished { index, cache_hit } => obj(vec![
+                ("event", Value::Str("point_finished".into())),
+                ("index", Value::UInt(*index as u64)),
+                ("cache_hit", Value::Bool(*cache_hit)),
+            ]),
+            CampaignEvent::PointFailed {
+                index,
+                workload,
+                organization,
+                config_id,
+                error,
+            } => obj(vec![
+                ("event", Value::Str("point_failed".into())),
+                ("index", Value::UInt(*index as u64)),
+                ("workload", Value::Str(workload.clone())),
+                ("organization", Value::Str((*organization).to_string())),
+                ("config_id", Value::UInt(u64::from(*config_id))),
+                ("error", Value::Str(error.clone())),
+            ]),
+            CampaignEvent::CampaignFinished {
+                campaign,
+                computed,
+                cached,
+                failed,
+                hit_rate,
+            } => obj(vec![
+                ("event", Value::Str("campaign_finished".into())),
+                ("campaign", Value::Str(campaign.clone())),
+                ("computed", Value::UInt(*computed as u64)),
+                ("cached", Value::UInt(*cached as u64)),
+                ("failed", Value::UInt(*failed as u64)),
+                ("hit_rate", Value::Float(*hit_rate)),
+            ]),
+        }
+    }
+}
+
+/// A consumer of a session's [`CampaignEvent`] stream.
+///
+/// Observers are called from the worker threads, so they must be `Sync`;
+/// events for different points arrive interleaved. Any `Fn(&CampaignEvent) +
+/// Sync` closure is an observer, and two adapters cover the common shapes:
+/// [`EventLog`] collects the stream for inspection (tests, summaries) and
+/// [`event_channel`] forwards it over an `mpsc` channel to a consumer on
+/// another thread.
+pub trait CampaignObserver: Sync {
+    /// Called once per event, in stream order per point (but interleaved
+    /// across points).
+    fn on_event(&self, event: &CampaignEvent);
+}
+
+impl<F: Fn(&CampaignEvent) + Sync> CampaignObserver for F {
+    fn on_event(&self, event: &CampaignEvent) {
+        self(event);
+    }
+}
+
+/// The no-op observer behind the batch [`run_sweep`] wrapper.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Unobserved;
+
+impl CampaignObserver for Unobserved {
+    fn on_event(&self, _event: &CampaignEvent) {}
+}
+
+/// An observer that collects the whole event stream, for inspection after
+/// the run (the event-stream regression tests are built on this).
+#[derive(Debug, Default)]
+pub struct EventLog {
+    events: Mutex<Vec<CampaignEvent>>,
+}
+
+impl EventLog {
+    /// Creates an empty log.
+    #[must_use]
+    pub fn new() -> Self {
+        EventLog::default()
+    }
+
+    /// Drains and returns the events collected so far, in arrival order.
+    #[must_use]
+    pub fn take(&self) -> Vec<CampaignEvent> {
+        std::mem::take(&mut self.events.lock().expect("event log poisoned"))
+    }
+}
+
+impl CampaignObserver for EventLog {
+    fn on_event(&self, event: &CampaignEvent) {
+        self.events
+            .lock()
+            .expect("event log poisoned")
+            .push(event.clone());
+    }
+}
+
+/// A channel-backed observer: events are forwarded to the returned receiver,
+/// so a consumer on another thread can stream progress while the session
+/// runs. A dropped receiver is tolerated (sends become no-ops).
+#[derive(Debug)]
+pub struct EventSender {
+    sender: Mutex<mpsc::Sender<CampaignEvent>>,
+}
+
+/// Creates a connected [`EventSender`]/receiver pair.
+#[must_use]
+pub fn event_channel() -> (EventSender, mpsc::Receiver<CampaignEvent>) {
+    let (sender, receiver) = mpsc::channel();
+    (
+        EventSender {
+            sender: Mutex::new(sender),
+        },
+        receiver,
+    )
+}
+
+impl CampaignObserver for EventSender {
+    fn on_event(&self, event: &CampaignEvent) {
+        let _ = self
+            .sender
+            .lock()
+            .expect("event sender poisoned")
+            .send(event.clone());
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The session — observed campaign execution
+// ---------------------------------------------------------------------------
+
+/// One observed execution of a campaign: a [`SweepSpec`] bound to its
+/// [`ExecutorOptions`], run with [`CampaignSession::run`] under any
+/// [`CampaignObserver`].
+///
+/// This is the engine's primary execution API; the batch [`run_sweep`] call
+/// is `CampaignSession::new(spec, options).run(&Unobserved)`.
+#[derive(Debug, Clone, Copy)]
+pub struct CampaignSession<'a> {
+    spec: &'a SweepSpec,
+    options: &'a ExecutorOptions,
+}
+
+impl<'a> CampaignSession<'a> {
+    /// Binds a spec to its execution options.
+    #[must_use]
+    pub fn new(spec: &'a SweepSpec, options: &'a ExecutorOptions) -> Self {
+        CampaignSession { spec, options }
+    }
+
+    /// The spec this session runs.
+    #[must_use]
+    pub fn spec(&self) -> &SweepSpec {
+        self.spec
+    }
+
+    /// Runs the campaign, streaming [`CampaignEvent`]s to `observer`.
+    ///
+    /// Never fails as a whole: per-point problems (unknown workloads,
+    /// runner errors, panics) become failure records (and `PointFailed`
+    /// events), and an unusable cache directory degrades to running
+    /// uncached with a note on stderr.
+    #[must_use]
+    pub fn run(&self, observer: &dyn CampaignObserver) -> SweepResults {
+        let spec = self.spec;
+        let options = self.options;
+        let cache = options.cache_dir.as_ref().and_then(|dir| {
+            ResultCache::open(dir)
+                .map_err(|e| {
+                    eprintln!(
+                        "sweep: cache at {} unusable ({e}); running uncached",
+                        dir.display()
+                    )
+                })
+                .ok()
+        });
+        let suite: HashMap<&str, Workload> = evaluated_suite()
+            .into_iter()
+            .map(|w| (w.name(), w))
+            .collect();
+
+        observer.on_event(&CampaignEvent::CampaignStarted {
+            campaign: spec.name.clone(),
+            points: spec.points.len(),
+        });
+
+        let records = parallel_map(&spec.points, options.threads, |index, point| {
+            observer.on_event(&CampaignEvent::PointStarted {
+                index,
+                workload: point.workload.clone(),
+                organization: point.config.organization.label(),
+            });
+            let key = point_key(spec, point);
+            let cached = if options.force_recompute {
+                None
+            } else {
+                cache.as_ref().and_then(|c| c.load::<PointOutcome>(&key))
+            };
+            let from_cache = cached.is_some();
+            let outcome = cached.unwrap_or_else(|| {
+                let outcome = evaluate_point(spec, point, &suite, key.seed);
+                // Only successes are cached: failures may be transient (and
+                // must stay visible on every run until fixed).
+                if let (Some(cache), PointOutcome::Ok(_)) = (&cache, &outcome) {
+                    if let Err(e) = cache.store(&key, &outcome) {
+                        eprintln!("sweep: failed to store {}: {e}", key.digest_hex);
+                    }
+                }
+                outcome
+            });
+            observer.on_event(&match &outcome {
+                PointOutcome::Ok(_) => CampaignEvent::PointFinished {
+                    index,
+                    cache_hit: from_cache,
+                },
+                PointOutcome::Error(e) | PointOutcome::Panicked(e) => CampaignEvent::PointFailed {
+                    index,
+                    workload: point.workload.clone(),
+                    organization: point.config.organization.label(),
+                    config_id: point.config.mrf_config.id.0,
+                    error: e.clone(),
+                },
+            });
+            make_record(point, &key, outcome, from_cache)
+        });
+
+        let records: Vec<PointRecord> = records
+            .into_iter()
+            .zip(&spec.points)
+            .enumerate()
+            .map(|(index, (result, point))| {
+                result.unwrap_or_else(|panic_msg| {
+                    // The evaluation itself is already panic-isolated, so
+                    // this only triggers if record assembly or the cache
+                    // panicked — emit the failure so the stream still
+                    // carries one terminal event per point.
+                    observer.on_event(&CampaignEvent::PointFailed {
+                        index,
+                        workload: point.workload.clone(),
+                        organization: point.config.organization.label(),
+                        config_id: point.config.mrf_config.id.0,
+                        error: panic_msg.clone(),
+                    });
+                    let key = point_key(spec, point);
+                    make_record(point, &key, PointOutcome::Panicked(panic_msg), false)
+                })
+            })
+            .collect();
+
+        let results = SweepResults {
+            name: spec.name.clone(),
+            records,
+        };
+        observer.on_event(&CampaignEvent::CampaignFinished {
+            campaign: results.name.clone(),
+            computed: results.computed_count(),
+            cached: results.cached_count(),
+            failed: results.failure_count(),
+            hit_rate: results.cache_hit_rate(),
+        });
+        results
+    }
+}
+
+/// Runs a campaign unobserved — the batch wrapper over
+/// [`CampaignSession::run`], kept for callers that only want the final
+/// [`SweepResults`].
 ///
 /// Never fails as a whole: per-point problems (unknown workloads, runner
 /// errors, panics) become failure records, and an unusable cache directory
 /// degrades to running uncached with a note on stderr.
 #[must_use]
 pub fn run_sweep(spec: &SweepSpec, options: &ExecutorOptions) -> SweepResults {
-    let cache = options.cache_dir.as_ref().and_then(|dir| {
-        ResultCache::open(dir)
-            .map_err(|e| {
-                eprintln!(
-                    "sweep: cache at {} unusable ({e}); running uncached",
-                    dir.display()
-                )
-            })
-            .ok()
-    });
-    let suite: HashMap<&str, Workload> = evaluated_suite()
-        .into_iter()
-        .map(|w| (w.name(), w))
-        .collect();
-
-    let records = parallel_map(&spec.points, options.threads, |_, point| {
-        let key = point_key(spec, point);
-        if let (Some(cache), false) = (&cache, options.force_recompute) {
-            if let Some(outcome) = cache.load::<PointOutcome>(&key) {
-                return make_record(point, &key, outcome, true);
-            }
-        }
-        let outcome = evaluate_point(spec, point, &suite, key.seed);
-        // Only successes are cached: failures may be transient (and must
-        // stay visible on every run until fixed).
-        if let (Some(cache), PointOutcome::Ok(_)) = (&cache, &outcome) {
-            if let Err(e) = cache.store(&key, &outcome) {
-                eprintln!("sweep: failed to store {}: {e}", key.digest_hex);
-            }
-        }
-        make_record(point, &key, outcome, false)
-    });
-
-    let records = records
-        .into_iter()
-        .zip(&spec.points)
-        .map(|(result, point)| {
-            result.unwrap_or_else(|panic_msg| {
-                // The evaluation itself is already panic-isolated, so this
-                // only triggers if record assembly or the cache panicked.
-                let key = point_key(spec, point);
-                make_record(point, &key, PointOutcome::Panicked(panic_msg), false)
-            })
-        })
-        .collect();
-
-    SweepResults {
-        name: spec.name.clone(),
-        records,
-    }
+    CampaignSession::new(spec, options).run(&Unobserved)
 }
 
 fn make_record(

@@ -12,9 +12,14 @@
 //!   [`ltrf_core::ExperimentConfig`] design points, latency factors, SM
 //!   counts (full-GPU campaigns with shared-L2/DRAM contention), and
 //!   memory-behaviour variants;
-//! * [`run_sweep`] shards the run matrix across all cores with deterministic
-//!   per-point seeds and panic isolation (one bad point yields an error
-//!   record, not a dead campaign);
+//! * [`CampaignSession`] shards the run matrix across all cores with
+//!   deterministic per-point seeds and panic isolation (one bad point
+//!   yields an error record, not a dead campaign), emitting a typed
+//!   [`CampaignEvent`] stream — point starts, finishes with cache
+//!   provenance, failures, and the campaign summary — to any
+//!   [`CampaignObserver`] (the CLI's progress printing and its
+//!   `--progress json` mode are observers); [`run_sweep`] is the thin
+//!   batch wrapper for callers that only want the final results;
 //! * [`ResultCache`] content-addresses outcomes (SHA-256 of the canonical
 //!   point encoding, which includes `sm_count`) so re-running a figure only
 //!   recomputes changed points;
@@ -32,9 +37,13 @@
 //!   `--seed`, generator bounds as flags) far beyond the paper's fixed
 //!   suite;
 //! * [`campaigns`] holds the canonical spec constructors — exactly one
-//!   definition per paper artifact — shared by the CLI, the bench harness
-//!   (which attaches this engine's cache when `LTRF_CACHE_DIR` is set), and
-//!   the golden/differential regression tests.
+//!   definition per paper artifact — and [`api`] wraps them in the campaign
+//!   registry: typed [`Campaign`] definitions (name/aliases, parameter
+//!   schema, artifact kind, summary renderer) that the CLI *generates* its
+//!   subcommands, `--help` text, and flag scoping from, that the bench
+//!   harness (which attaches this engine's cache when `LTRF_CACHE_DIR` is
+//!   set) dispatches through, and that the registry/golden/differential
+//!   regression tests pin against `REPRODUCING.md`.
 //!
 //! `REPRODUCING.md` at the repository root maps every artifact to its
 //! command, runtime, CSV schema, and cache behaviour.
@@ -58,6 +67,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod api;
 pub mod cache;
 pub mod campaigns;
 pub mod executor;
@@ -72,13 +82,24 @@ pub mod spec;
 /// this literal in the workspace.
 pub const CAMPAIGN_SEED: u64 = 0x17F2_2018;
 
+pub use api::{registry, ArtifactKind, Campaign, CampaignParams, CampaignRegistry, ParamSpec};
 pub use cache::{point_key, PointKey, ResultCache, CACHE_SCHEMA_VERSION, ENGINE_FINGERPRINT};
 pub use campaigns::GenCampaignParams;
 pub use executor::{
-    parallel_points, relative_ipc_series, run_sweep, ExecutorOptions, PointData, PointMeans,
-    PointOutcome, PointRecord, SweepResults,
+    event_channel, parallel_points, relative_ipc_series, run_sweep, CampaignEvent,
+    CampaignObserver, CampaignSession, EventLog, EventSender, ExecutorOptions, PointData,
+    PointMeans, PointOutcome, PointRecord, SweepResults, Unobserved,
 };
 pub use pool::{default_threads, parallel_map};
 pub use spec::{
     GeneratedWorkload, MemorySelection, SeedMode, SweepPoint, SweepSpec, SweepSpecBuilder,
 };
+
+/// Cache-hit percentage as an integer floor: "100" only when literally
+/// every point was a hit — the CI smoke jobs grep for it, and `{:.0}`
+/// rounding would report 100% at 293/294. Shared by the CLI summaries and
+/// the `repro` renderer in [`api`].
+#[must_use]
+pub fn floored_hit_percent(cached: usize, total: usize) -> usize {
+    (cached * 100).checked_div(total).unwrap_or(0)
+}

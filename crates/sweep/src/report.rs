@@ -36,6 +36,37 @@ fn csv_escape(field: &str) -> String {
     }
 }
 
+/// The shared campaign-CSV schema, in column order — every campaign writes
+/// exactly these columns (one row per point), so downstream tooling can
+/// treat all artifact CSVs uniformly. The header row of [`to_csv`] and the
+/// `sweep describe` output are both generated from this list, and
+/// `REPRODUCING.md` documents each column's meaning.
+pub const CSV_COLUMNS: [&str; 23] = [
+    "workload",
+    "gen_seed",
+    "gen_index",
+    "organization",
+    "config_id",
+    "latency_factor",
+    "registers_per_interval",
+    "active_warps",
+    "sm_count",
+    "memory",
+    "seed",
+    "status",
+    "ipc",
+    "normalized_ipc",
+    "normalized_power",
+    "power_mw",
+    "energy_pj",
+    "leakage_pj",
+    "cache_hit_rate",
+    "l2_hit_rate",
+    "dram_row_hit_rate",
+    "from_cache",
+    "error",
+];
+
 fn memory_label(memory: MemorySelection) -> &'static str {
     match memory {
         MemorySelection::WorkloadDefault => "default",
@@ -57,13 +88,8 @@ fn memory_label(memory: MemorySelection) -> &'static str {
 /// column.
 #[must_use]
 pub fn to_csv(results: &SweepResults) -> String {
-    let mut out = String::from(
-        "workload,gen_seed,gen_index,organization,config_id,latency_factor,\
-         registers_per_interval,active_warps,\
-         sm_count,memory,seed,status,ipc,normalized_ipc,normalized_power,\
-         power_mw,energy_pj,leakage_pj,cache_hit_rate,\
-         l2_hit_rate,dram_row_hit_rate,from_cache,error\n",
-    );
+    let mut out = CSV_COLUMNS.join(",");
+    out.push('\n');
     for record in &results.records {
         let point = &record.point;
         let (status, error) = match &record.outcome {

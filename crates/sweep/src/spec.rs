@@ -7,6 +7,11 @@
 //! benchmarks and/or a generated population), Table 2 design point, latency
 //! factor, registers per register-interval, active warps, SM count (full-GPU
 //! campaigns with shared-L2/DRAM contention), and memory behaviour.
+//!
+//! Specs are *data*: the paper-artifact campaigns each have one canonical
+//! constructor in [`crate::campaigns`], surfaced to every front-end as a
+//! registry entry in [`crate::api`], and execute on a
+//! [`CampaignSession`](crate::CampaignSession).
 
 use serde::{Deserialize, Serialize};
 
