@@ -1,0 +1,179 @@
+//! Measures the sweep engine's throughput and cache behaviour on fixed
+//! reproduction slices and writes the snapshot to `BENCH_sweep.json` at the
+//! repository root (or to the path given as the first argument).
+//!
+//! Each slice runs twice against a fresh private cache directory: a cold
+//! pass, where every point computes and populates the cache, and a warm
+//! pass, where every point must hit it. The recorded quantities are
+//! wall-clock seconds, points per second, and the cache hit rate of each
+//! pass — the same floor-rounded rate the `sweep` CLI summaries print. The
+//! checked-in `BENCH_sweep.json` is the latest snapshot; regenerate it with:
+//!
+//! ```text
+//! cargo run --release -p ltrf-bench --bin bench_sweep
+//! ```
+//!
+//! Two slices are measured, both with the fixed campaign seed so the work
+//! is identical run to run:
+//!
+//! * `table2-quick` — the Table 2 design-point sweep over the quick suite
+//!   (the engine's canonical suite-workload slice);
+//! * `trace-campaign` — BL vs. LTRF over the three checked-in example
+//!   traces (the `ltrf-trace` ingestion frontend, whose cache identity is
+//!   the trace file's content fingerprint).
+
+use std::path::{Path, PathBuf};
+use std::time::Instant;
+
+use serde::Serialize;
+
+use ltrf_sweep::{registry, run_sweep, CampaignParams, ExecutorOptions, SweepResults, SweepSpec};
+
+/// One timed executor pass over a slice.
+#[derive(Debug, Serialize)]
+struct Pass {
+    seconds: f64,
+    points_per_sec: f64,
+    cache_hit_rate: f64,
+    computed: usize,
+    cached: usize,
+}
+
+/// One measured slice: the same spec run cold then warm.
+#[derive(Debug, Serialize)]
+struct Slice {
+    name: String,
+    campaign: String,
+    points: usize,
+    failures: usize,
+    cold: Pass,
+    warm: Pass,
+}
+
+/// The whole snapshot written to `BENCH_sweep.json`.
+#[derive(Debug, Serialize)]
+struct BenchReport {
+    benchmark: &'static str,
+    command: &'static str,
+    threads: usize,
+    slices: Vec<Slice>,
+}
+
+/// Resolves a registry campaign's single canonical spec under `params`.
+fn registry_spec(campaign: &str, params: &CampaignParams) -> SweepSpec {
+    registry()
+        .find(campaign)
+        .unwrap_or_else(|| panic!("campaign `{campaign}` is registered"))
+        .specs(params)
+        .expect("benchmark slice parameters are valid")
+        .into_iter()
+        .next()
+        .expect("single-spec campaign")
+}
+
+fn timed_pass(spec: &SweepSpec, options: &ExecutorOptions) -> (SweepResults, Pass) {
+    let start = Instant::now();
+    let results = run_sweep(spec, options);
+    let seconds = start.elapsed().as_secs_f64();
+    let pass = Pass {
+        seconds: round(seconds, 3),
+        points_per_sec: round(results.len() as f64 / seconds.max(1e-9), 1),
+        cache_hit_rate: results.cache_hit_rate(),
+        computed: results.computed_count(),
+        cached: results.cached_count(),
+    };
+    (results, pass)
+}
+
+fn round(value: f64, decimals: u32) -> f64 {
+    let scale = 10f64.powi(decimals as i32);
+    (value * scale).round() / scale
+}
+
+fn measure(name: &str, campaign: &str, params: &CampaignParams) -> Slice {
+    let spec = registry_spec(campaign, params);
+    let cache_dir =
+        std::env::temp_dir().join(format!("ltrf-bench-sweep-{name}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&cache_dir);
+    let options = ExecutorOptions {
+        cache_dir: Some(cache_dir.clone()),
+        ..ExecutorOptions::default()
+    };
+
+    let (cold_results, cold) = timed_pass(&spec, &options);
+    let (warm_results, warm) = timed_pass(&spec, &options);
+    if warm.cached != warm_results.len() {
+        eprintln!(
+            "warning: slice `{name}` warm pass hit only {}/{} points — the engine or \
+             cache identity is nondeterministic",
+            warm.cached,
+            warm_results.len()
+        );
+    }
+    let _ = std::fs::remove_dir_all(&cache_dir);
+
+    println!(
+        "{name}: {} points, cold {:.3}s ({:.1} points/s), warm {:.3}s ({}% hit rate)",
+        cold_results.len(),
+        cold.seconds,
+        cold.points_per_sec,
+        warm.seconds,
+        ltrf_sweep::floored_hit_percent(warm.cached, warm_results.len()),
+    );
+    Slice {
+        name: name.to_string(),
+        campaign: campaign.to_string(),
+        points: cold_results.len(),
+        failures: cold_results.failure_count(),
+        cold,
+        warm,
+    }
+}
+
+/// The checked-in example traces, made absolute so the binary works from
+/// any working directory.
+fn example_traces() -> Vec<String> {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    CampaignParams::DEFAULT_TRACES
+        .iter()
+        .map(|p| root.join(p).to_string_lossy().into_owned())
+        .collect()
+}
+
+fn main() {
+    let output: PathBuf = std::env::args().nth(1).map_or_else(
+        || Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_sweep.json"),
+        PathBuf::from,
+    );
+
+    let slices = vec![
+        measure(
+            "table2-quick",
+            "table2",
+            &CampaignParams {
+                quick: true,
+                ..CampaignParams::default()
+            },
+        ),
+        measure(
+            "trace-campaign",
+            "trace-campaign",
+            &CampaignParams {
+                trace_paths: example_traces(),
+                ..CampaignParams::default()
+            },
+        ),
+    ];
+
+    let report = BenchReport {
+        benchmark: "sweep-engine throughput and cache behaviour (cold vs. warm)",
+        command: "cargo run --release -p ltrf-bench --bin bench_sweep",
+        threads: ltrf_sweep::default_threads(),
+        slices,
+    };
+    let json = serde::to_json_string(&report);
+    std::fs::write(&output, format!("{json}\n")).unwrap_or_else(|e| {
+        panic!("cannot write {}: {e}", output.display());
+    });
+    println!("wrote {}", output.display());
+}

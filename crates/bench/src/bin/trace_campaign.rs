@@ -1,0 +1,56 @@
+//! Runs a trace-driven campaign: BL vs. LTRF on configuration #6 over
+//! kernels lowered from accelsim-style trace files by `ltrf-trace`.
+//!
+//! ```text
+//! trace_campaign [TRACE...]   (default: the three example traces under examples/traces/)
+//! ```
+
+use ltrf_bench::{format_table, trace_campaign, TraceCampaignRow};
+use ltrf_sweep::CampaignParams;
+
+fn main() {
+    let traces: Vec<String> = std::env::args().skip(1).collect();
+    let shown: Vec<String> = if traces.is_empty() {
+        CampaignParams::DEFAULT_TRACES
+            .iter()
+            .map(|p| (*p).to_string())
+            .collect()
+    } else {
+        traces.clone()
+    };
+    println!(
+        "Trace campaign: {} trace file(s), BL vs LTRF on configuration #6",
+        shown.len()
+    );
+    for path in &shown {
+        println!("  {path}");
+    }
+    println!();
+
+    let rows: Vec<TraceCampaignRow> = trace_campaign(&traces, 1);
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.organization.label().to_string(),
+                r.points.to_string(),
+                format!("{:.3}", r.mean_ipc),
+                format!("{:.3}", r.mean_normalized_ipc),
+                format!("{:.1}%", r.mean_l2_hit_rate * 100.0),
+                format!("{:.1}%", r.mean_dram_row_hit_rate * 100.0),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        format_table(
+            &["Org", "Points", "IPC", "Norm IPC", "L2 hit", "DRAM row-hit"],
+            &table
+        )
+    );
+    println!(
+        "Lowered kernels replay each trace's dynamic PC stream, so identical trace bytes \
+         reproduce these rows exactly. (This binary runs uncached unless LTRF_CACHE_DIR is \
+         set; `sweep trace-campaign` is the cached entry point.)"
+    );
+}

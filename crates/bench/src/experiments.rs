@@ -906,9 +906,98 @@ pub fn gen_campaign(
     .collect()
 }
 
+// ---------------------------------------------------------------------------
+// Trace-driven campaigns — lowered accelsim-style traces through the engine
+// ---------------------------------------------------------------------------
+
+/// One organization's means over the lowered trace workloads.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct TraceCampaignRow {
+    /// The organization under test.
+    pub organization: Organization,
+    /// Successful trace points aggregated into this row.
+    pub points: usize,
+    /// Mean IPC over the lowered trace workloads.
+    pub mean_ipc: f64,
+    /// Mean IPC normalized to the baseline on the same trace.
+    pub mean_normalized_ipc: f64,
+    /// Mean L2 hit rate.
+    pub mean_l2_hit_rate: f64,
+    /// Mean DRAM row-buffer hit rate.
+    pub mean_dram_row_hit_rate: f64,
+}
+
+/// Runs a trace-driven campaign: baseline and LTRF on configuration #6 over
+/// the kernels `ltrf-trace` lowers from the given accelsim-style trace
+/// files (empty = the three checked-in example traces, resolved relative to
+/// the working directory). Dispatched through the registry's
+/// `trace-campaign` entry — the same campaign definition as the `sweep
+/// trace-campaign` subcommand, so the two cannot drift — and aggregated
+/// through the shared [`PointMeans`] pivot. Trace points carry the file's
+/// content fingerprint in their cache identity, so a `LTRF_CACHE_DIR` cache
+/// is shared with the CLI and invalidates itself when a trace file changes.
+///
+/// # Panics
+///
+/// Panics when a trace file is unreadable or malformed (the registry's
+/// build step validates every file up front, exactly as the CLI does).
+#[must_use]
+pub fn trace_campaign(trace_paths: &[String], sm_count: usize) -> Vec<TraceCampaignRow> {
+    let spec = registry_spec_with(
+        "trace-campaign",
+        CampaignParams {
+            trace_paths: trace_paths.to_vec(),
+            sm_count: Some(sm_count),
+            ..CampaignParams::default()
+        },
+    );
+    let results = run_figure_spec(&spec);
+    PointMeans::grouped(
+        &results,
+        &[sm_count],
+        &ltrf_sweep::campaigns::GEN_CAMPAIGN_ORGS,
+    )
+    .into_iter()
+    .map(|(_, organization, means)| TraceCampaignRow {
+        organization,
+        points: means.count,
+        mean_ipc: means.ipc,
+        mean_normalized_ipc: means.normalized_ipc,
+        mean_l2_hit_rate: means.l2_hit_rate,
+        mean_dram_row_hit_rate: means.dram_row_hit_rate,
+    })
+    .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    /// The checked-in example traces, made absolute so the test is
+    /// independent of the package-relative working directory `cargo test`
+    /// runs with.
+    fn example_traces() -> Vec<String> {
+        let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+        CampaignParams::DEFAULT_TRACES
+            .iter()
+            .map(|p| root.join(p).to_string_lossy().into_owned())
+            .collect()
+    }
+
+    #[test]
+    fn trace_campaign_aggregates_both_organizations() {
+        let traces = example_traces();
+        let rows = trace_campaign(&traces, 1);
+        assert_eq!(rows.len(), 2, "BL and LTRF rows");
+        for row in &rows {
+            assert_eq!(row.points, 3, "one point per example trace: {row:?}");
+            assert!(row.mean_ipc > 0.0, "{row:?}");
+            assert!(row.mean_normalized_ipc > 0.0, "{row:?}");
+        }
+        // Lowering is deterministic and the trace bytes are fixed, so the
+        // campaign reproduces bit-identically.
+        assert_eq!(rows, trace_campaign(&traces, 1));
+    }
 
     #[test]
     fn gen_campaign_aggregates_both_organizations() {

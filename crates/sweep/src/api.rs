@@ -71,7 +71,8 @@ use ltrf_tech::PowerParams;
 use ltrf_workloads::{GeneratorConfig, QUICK_SUBSET};
 
 use crate::campaigns::{
-    self, GenCampaignParams, FIG11_ORGS, FIG9_ORGS, GEN_CAMPAIGN_ORGS, POWER_ORGS,
+    self, GenCampaignParams, TraceCampaignParams, FIG11_ORGS, FIG9_ORGS, GEN_CAMPAIGN_ORGS,
+    POWER_ORGS,
 };
 use crate::executor::{PointMeans, PointRecord, SweepResults};
 use crate::spec::{SeedMode, SweepSpec};
@@ -124,6 +125,9 @@ pub struct CampaignParams {
     pub leakage_mw_per_kb: Option<f64>,
     /// See [`CampaignParams::access_energy_pj`].
     pub dwm_write_penalty: Option<f64>,
+    /// Trace files of `trace-campaign`, in axis order (empty = the three
+    /// checked-in example traces under `examples/traces/`).
+    pub trace_paths: Vec<String>,
 }
 
 impl CampaignParams {
@@ -232,6 +236,51 @@ impl CampaignParams {
             seed_mode: self.seed_mode(),
         })
     }
+
+    /// The default trace set of `trace-campaign` when no `--trace` is
+    /// given: the three checked-in example traces, relative to the
+    /// repository root.
+    pub const DEFAULT_TRACES: [&'static str; 3] = [
+        "examples/traces/straight_line.trace",
+        "examples/traces/divergent_loop.trace",
+        "examples/traces/high_register_pressure.trace",
+    ];
+
+    /// Assembles the full trace-campaign parameters: reads and fingerprints
+    /// every `--trace` file (or the [`CampaignParams::DEFAULT_TRACES`] when
+    /// none were given), with friendly per-file errors.
+    ///
+    /// # Errors
+    ///
+    /// Returns a `--trace`-named message for an unreadable or malformed
+    /// trace file.
+    pub fn trace_params(&self) -> Result<TraceCampaignParams, String> {
+        let paths: Vec<String> = if self.trace_paths.is_empty() {
+            Self::DEFAULT_TRACES
+                .iter()
+                .map(|p| (*p).to_string())
+                .collect()
+        } else {
+            self.trace_paths.clone()
+        };
+        let traces = paths
+            .iter()
+            .map(|path| {
+                let id = ltrf_trace::TraceWorkloadId::from_path(path)
+                    .map_err(|e| format!("--trace {path}: {e}"))?;
+                // Parse and lower once up front so a malformed trace is one
+                // friendly error here, not a per-point failure per config.
+                id.materialize()
+                    .map_err(|e| format!("--trace {path}: {e}"))?;
+                Ok(id)
+            })
+            .collect::<Result<Vec<_>, String>>()?;
+        Ok(TraceCampaignParams {
+            traces,
+            sm_count: self.single_sm_count(),
+            seed_mode: self.seed_mode(),
+        })
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -249,6 +298,9 @@ pub enum ParamType {
     Float,
     /// A comma-separated integer list (`--sm-counts 1,2,4,8`).
     IntList,
+    /// A file path (`--trace examples/traces/straight_line.trace`),
+    /// repeatable to accumulate several.
+    Path,
 }
 
 impl ParamType {
@@ -260,6 +312,7 @@ impl ParamType {
             ParamType::Int => "int",
             ParamType::Float => "float",
             ParamType::IntList => "int_list",
+            ParamType::Path => "path",
         }
     }
 }
@@ -537,6 +590,21 @@ pub mod params {
         },
     };
 
+    /// `--trace PATH`: a trace file of `trace-campaign`; repeatable.
+    pub static TRACE: ParamSpec = ParamSpec {
+        flag: "--trace",
+        value_name: Some("PATH"),
+        ty: ParamType::Path,
+        default: "the three example traces under examples/traces/",
+        help: "an accelsim-style kernel trace file to lower and sweep (repeatable)",
+        hint: "it selects trace workloads (use `sweep trace-campaign`)",
+        apply: |p, v| {
+            let path = v.ok_or("--trace needs a file path")?;
+            p.trace_paths.push(path.to_string());
+            Ok(())
+        },
+    };
+
     /// `--dwm-write-penalty P`: DWM write/read energy ratio.
     pub static DWM_WRITE_PENALTY: ParamSpec = ParamSpec {
         flag: "--dwm-write-penalty",
@@ -587,6 +655,10 @@ static GEN_CAMPAIGN_PARAMS: [&ParamSpec; 10] = [
     &p::MAX_BODY_ALU,
     &p::MAX_BODY_LOADS,
 ];
+
+/// The parameter set of `trace-campaign`: sized by its `--trace` files (not
+/// `--quick`), plus the shared SM-count and seeding knobs.
+static TRACE_CAMPAIGN_PARAMS: [&ParamSpec; 3] = [&p::TRACE, &p::SM_COUNT, &p::PER_POINT_SEEDS];
 
 // ---------------------------------------------------------------------------
 // Campaign definitions
@@ -1073,6 +1145,59 @@ fn render_gen_campaign(results: &[SweepResults], ctx: &RenderContext) -> Result<
     Ok(())
 }
 
+fn trace_campaign_preamble(_specs: &[SweepSpec], ctx: &RenderContext) -> String {
+    let Ok(params) = ctx.params.trace_params() else {
+        // The build step already reported the friendly validation error.
+        return String::new();
+    };
+    let mut out = format!(
+        "trace campaign: {} trace workload(s), BL vs LTRF on configuration #6",
+        params.traces.len()
+    );
+    for trace in &params.traces {
+        out.push_str(&format!(
+            "\n  {:<28} {} ({})",
+            trace.workload_name(),
+            trace.path,
+            &trace.content_hash[..8.min(trace.content_hash.len())]
+        ));
+    }
+    out
+}
+
+fn render_trace_campaign(results: &[SweepResults], ctx: &RenderContext) -> Result<(), String> {
+    let results = &results[0];
+    let sm_count = ctx.params.single_sm_count();
+    println!("\nTrace means (IPC normalized to baseline on the same trace):");
+    println!(
+        "  {:<6} {:>7} {:>9} {:>8} {:>9} {:>12}",
+        "org", "points", "IPC", "norm", "L2 hit", "DRAM row-hit"
+    );
+    for (_, org, means) in PointMeans::grouped(results, &[sm_count], &GEN_CAMPAIGN_ORGS) {
+        println!(
+            "  {:<6} {:>7} {:>9.3} {:>8.3} {:>8.1}% {:>11.1}%",
+            org.label(),
+            means.count,
+            means.ipc,
+            means.normalized_ipc,
+            means.l2_hit_rate * 100.0,
+            means.dram_row_hit_rate * 100.0
+        );
+    }
+    // Per-trace LTRF outcomes: the whole point of ingesting real traces is
+    // seeing which ones LTRF helps.
+    let mut per_trace: Vec<(&str, f64)> = results
+        .successes()
+        .filter(|(r, _)| r.point.config.organization == Organization::Ltrf)
+        .filter_map(|(r, d)| Some((r.point.workload.as_str(), d.normalized_ipc?)))
+        .collect();
+    per_trace.sort_by(|a, b| b.1.total_cmp(&a.1));
+    for (workload, norm) in per_trace {
+        println!("  {workload:<28} LTRF {norm:.3}x");
+    }
+    Ok(())
+}
+
 // ---------------------------------------------------------------------------
 // The registry
 // ---------------------------------------------------------------------------
@@ -1080,9 +1205,9 @@ fn render_gen_campaign(results: &[SweepResults], ctx: &RenderContext) -> Result<
 /// The registered campaigns, in help order. Exactly one entry per
 /// simulation-backed paper artifact (Figure 10 is `power`'s
 /// configuration-#7 slice, reachable through the `fig10` alias) plus the
-/// `repro` meta-campaign and the beyond-paper `gpu-scale`/`gen-campaign`
-/// studies.
-static CAMPAIGNS: [Campaign; 10] = [
+/// `repro` meta-campaign and the beyond-paper
+/// `gpu-scale`/`gen-campaign`/`trace-campaign` studies.
+static CAMPAIGNS: [Campaign; 11] = [
     Campaign {
         name: "fig9",
         aliases: &["figure9"],
@@ -1266,6 +1391,23 @@ static CAMPAIGNS: [Campaign; 10] = [
         build: |params| Ok(vec![campaigns::gen_campaign_spec(&params.gen_params()?)]),
         preamble: gen_campaign_preamble,
         render: render_gen_campaign,
+        fail_on_point_failure: false,
+    },
+    Campaign {
+        name: "trace-campaign",
+        aliases: &["trace"],
+        kind: ArtifactKind::BeyondPaper,
+        paper_ref: "—",
+        summary: "BL/LTRF over kernels lowered from execution traces",
+        artifacts: "trace-campaign-t<hex>.{csv,json} (fingerprinted by the trace set)",
+        params: &TRACE_CAMPAIGN_PARAMS,
+        build: |params| {
+            Ok(vec![campaigns::trace_campaign_spec(
+                &params.trace_params()?,
+            )])
+        },
+        preamble: trace_campaign_preamble,
+        render: render_trace_campaign,
         fail_on_point_failure: false,
     },
 ];
@@ -1494,7 +1636,7 @@ mod tests {
     #[test]
     fn every_campaign_is_found_by_name_and_alias() {
         let registry = registry();
-        assert_eq!(registry.campaigns().len(), 10);
+        assert_eq!(registry.campaigns().len(), 11);
         for campaign in registry.campaigns() {
             assert!(std::ptr::eq(
                 registry.find(campaign.name).expect("found by name"),
@@ -1591,6 +1733,14 @@ mod tests {
         for campaign in registry.campaigns() {
             assert!(campaign.accepts(per_point), "{}", campaign.name);
         }
+
+        // --trace belongs to trace-campaign alone.
+        let trace = registry.param("--trace").unwrap();
+        assert_eq!(registry.campaigns_accepting(trace), ["trace-campaign"]);
+        assert!(registry
+            .scope_error(registry.find("fig9").unwrap(), trace)
+            .contains("sweep trace-campaign"));
+        assert!(!registry.find("trace-campaign").unwrap().accepts(quick));
     }
 
     #[test]
@@ -1655,6 +1805,24 @@ mod tests {
             .unwrap();
         assert!(params.quick);
 
+        registry
+            .param("--trace")
+            .unwrap()
+            .apply(&mut params, Some("a.trace"))
+            .unwrap();
+        registry
+            .param("--trace")
+            .unwrap()
+            .apply(&mut params, Some("b.trace"))
+            .unwrap();
+        assert_eq!(params.trace_paths, ["a.trace", "b.trace"], "repeatable");
+        let missing_path = registry
+            .param("--trace")
+            .unwrap()
+            .apply(&mut params, None)
+            .unwrap_err();
+        assert!(missing_path.contains("--trace"), "{missing_path}");
+
         let missing = registry.param("--threads");
         assert!(
             missing.is_none(),
@@ -1709,7 +1877,7 @@ mod tests {
         }
         let parsed = serde::Value::parse_json(&list_json()).expect("list --json parses");
         match parsed {
-            serde::Value::Array(items) => assert_eq!(items.len(), 10),
+            serde::Value::Array(items) => assert_eq!(items.len(), 11),
             other => panic!("expected array, got {other:?}"),
         }
     }

@@ -365,6 +365,11 @@ mod tests {
             ),
             ("fig12", &["--sm-count", "4", "--per-point-seeds"]),
             ("table2", &["--threads", "2", "--no-cache", "--force"]),
+            (
+                "trace-campaign",
+                &["--trace", "examples/traces/straight_line.trace"],
+            ),
+            ("trace-campaign", &[]),
         ];
         for (name, args) in invocations {
             let campaign = registry.find(name).expect(name);
@@ -393,6 +398,9 @@ mod tests {
         let gen = registry.find("gen-campaign").unwrap();
         let message = parse_invocation(gen, &strings(&["--quick"])).unwrap_err();
         assert!(message.contains("--population"), "{message}");
+
+        let message = parse_invocation(fig9, &strings(&["--trace", "a.trace"])).unwrap_err();
+        assert!(message.contains("trace-campaign"), "{message}");
 
         let message = parse_invocation(fig9, &strings(&["--frobnicate"])).unwrap_err();
         assert!(message.contains("unknown option"), "{message}");

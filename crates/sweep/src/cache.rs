@@ -61,9 +61,12 @@ pub struct PointKey {
 /// [`GeneratedWorkload`](crate::spec::GeneratedWorkload) identity — the
 /// population seed, member index, and every generator bound — so a warm rerun
 /// of the same campaign hits 100% while changing the seed or any bound
-/// misses. Suite points carry no such entry, which keeps their key material
-/// (and therefore existing cache populations) byte-identical to before the
-/// generated axis existed.
+/// misses. Trace points likewise serialize their
+/// [`TraceWorkloadId`](ltrf_trace::TraceWorkloadId) — path, content
+/// fingerprint, and lowering bounds — so editing the trace file (or moving
+/// it) misses while a byte-identical rerun hits. Suite points carry neither
+/// entry, which keeps their key material (and therefore existing cache
+/// populations) byte-identical to before either axis existed.
 #[must_use]
 pub fn point_key(spec: &SweepSpec, point: &SweepPoint) -> PointKey {
     let mut fields = vec![
@@ -89,6 +92,9 @@ pub fn point_key(spec: &SweepSpec, point: &SweepPoint) -> PointKey {
     ];
     if let Some(generated) = &point.generated {
         fields.push(("generated".to_string(), Serialize::to_value(generated)));
+    }
+    if let Some(trace) = &point.trace {
+        fields.push(("trace".to_string(), Serialize::to_value(trace)));
     }
     let material = Value::Object(fields).to_json();
     let digest = sha256(material.as_bytes());
@@ -291,6 +297,56 @@ mod tests {
         assert!(!point_key(&suite, &suite.points[0])
             .material
             .contains("generated"));
+    }
+
+    #[test]
+    fn trace_identity_is_key_material() {
+        use ltrf_trace::{LoweringBounds, TraceWorkloadId};
+
+        let id = TraceWorkloadId {
+            path: "examples/traces/straight_line.trace".to_string(),
+            content_hash: "cbf29ce484222325".to_string(),
+            bounds: LoweringBounds::default(),
+        };
+        let spec = SweepSpec::builder("trace-keys")
+            .trace_population([id.clone()])
+            .seed_mode(SeedMode::Fixed(1))
+            .build();
+        let a = point_key(&spec, &spec.points[0]);
+        assert!(
+            a.material.contains("\"trace\"") && a.material.contains("cbf29ce484222325"),
+            "trace points serialize their identity: {}",
+            a.material
+        );
+        // Same path, different content fingerprint: every digest changes.
+        let edited = SweepSpec::builder("trace-keys")
+            .trace_population([TraceWorkloadId {
+                content_hash: "0000000000000000".to_string(),
+                ..id.clone()
+            }])
+            .seed_mode(SeedMode::Fixed(1))
+            .build();
+        assert_ne!(
+            point_key(&spec, &spec.points[0]).digest_hex,
+            point_key(&edited, &edited.points[0]).digest_hex
+        );
+        // Tighter lowering bounds change the digest too.
+        let bounded = SweepSpec::builder("trace-keys")
+            .trace_population([id.with_bounds(LoweringBounds {
+                max_dynamic_instructions: 1000,
+                max_blocks: 64,
+            })])
+            .seed_mode(SeedMode::Fixed(1))
+            .build();
+        assert_ne!(
+            point_key(&spec, &spec.points[0]).digest_hex,
+            point_key(&bounded, &bounded.points[0]).digest_hex
+        );
+        // Suite points' material is unchanged by the trace axis.
+        let suite = test_spec();
+        assert!(!point_key(&suite, &suite.points[0])
+            .material
+            .contains("trace"));
     }
 
     #[test]

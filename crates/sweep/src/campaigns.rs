@@ -20,6 +20,7 @@
 //! | [`table2_spec`] | Table 2 (design-point IPC) | `sweep table2` | `table2` binary |
 //! | [`power_sweep_spec`] | §6.4 power across all design points | `sweep power` | `fig10` binary (the #7 slice) |
 //! | [`gen_campaign_spec`] | beyond-paper generated populations | `sweep gen-campaign` | `gen_campaign` binary |
+//! | [`trace_campaign_spec`] | beyond-paper trace-driven workloads | `sweep trace-campaign` | `trace_campaign` binary |
 //! | [`repro_specs`] | the full artifact set | `sweep repro` | — |
 //!
 //! Cache identity is per *point*, not per campaign: a point's key material
@@ -33,6 +34,7 @@
 
 use ltrf_core::Organization;
 use ltrf_tech::PowerParams;
+use ltrf_trace::TraceWorkloadId;
 use ltrf_workloads::GeneratorConfig;
 
 use crate::spec::{SeedMode, SweepSpec};
@@ -429,6 +431,71 @@ pub fn gen_campaign_spec(params: &GenCampaignParams) -> SweepSpec {
         .build()
 }
 
+/// Parameters of a trace-driven campaign.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceCampaignParams {
+    /// The resolved trace identities the campaign sweeps (path + content
+    /// fingerprint + lowering bounds, in axis order).
+    pub traces: Vec<TraceWorkloadId>,
+    /// SMs per point (trace workloads weak-scale with the SM count exactly
+    /// as suite workloads do — the runner scales each lowered kernel's grid
+    /// and footprint from `ExperimentConfig::sm_count`).
+    pub sm_count: usize,
+    /// Simulation seeding policy.
+    pub seed_mode: SeedMode,
+}
+
+impl TraceCampaignParams {
+    /// Binds the given trace identities to the default campaign policies
+    /// (one SM, the fixed [`CAMPAIGN_SEED`]).
+    #[must_use]
+    pub fn new(traces: Vec<TraceWorkloadId>) -> Self {
+        TraceCampaignParams {
+            traces,
+            sm_count: 1,
+            seed_mode: SeedMode::Fixed(CAMPAIGN_SEED),
+        }
+    }
+
+    /// The campaign (and report file) name: `trace-campaign-t<hex>`, where
+    /// the eight hex digits fingerprint the full trace set (paths, content
+    /// hashes, and lowering bounds), so campaigns over different traces —
+    /// or over an edited trace — never clobber each other's reports. The
+    /// full identities remain readable in the JSON report and the cache-key
+    /// material.
+    #[must_use]
+    pub fn name(&self) -> String {
+        let digest = crate::hash::sha256(
+            serde::Serialize::to_value(&self.traces)
+                .to_json()
+                .as_bytes(),
+        );
+        let base = format!("trace-campaign-t{}", &crate::hash::to_hex(&digest)[..8]);
+        campaign_name(&base, self.sm_count)
+    }
+}
+
+/// A trace-driven campaign: [`GEN_CAMPAIGN_ORGS`] (the paper's headline
+/// BL/LTRF pair) × the lowered trace workloads on configuration #6,
+/// normalized — exactly what `sweep trace-campaign` runs and what
+/// `ltrf-bench`'s `trace_campaign` experiment aggregates.
+///
+/// # Panics
+///
+/// Panics if `params.traces` is empty (the CLI resolves and validates the
+/// trace files first and reports a friendly error).
+#[must_use]
+pub fn trace_campaign_spec(params: &TraceCampaignParams) -> SweepSpec {
+    SweepSpec::builder(params.name())
+        .organizations(GEN_CAMPAIGN_ORGS)
+        .config_ids([6])
+        .trace_population(params.traces.iter().cloned())
+        .sm_counts([params.sm_count])
+        .seed_mode(params.seed_mode)
+        .normalize(true)
+        .build()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -563,6 +630,45 @@ mod tests {
             ..params
         };
         assert_eq!(multi_sm.name(), "gen-campaign-n5-s7-sm2");
+    }
+
+    #[test]
+    fn trace_campaign_spec_enumerates_the_traces() {
+        use ltrf_trace::LoweringBounds;
+
+        let id = |path: &str, hash: &str| TraceWorkloadId {
+            path: path.to_string(),
+            content_hash: hash.to_string(),
+            bounds: LoweringBounds::default(),
+        };
+        let params = TraceCampaignParams::new(vec![
+            id("examples/traces/straight_line.trace", "cbf29ce484222325"),
+            id("examples/traces/divergent_loop.trace", "0123456789abcdef"),
+        ]);
+        let spec = trace_campaign_spec(&params);
+        assert!(spec.name.starts_with("trace-campaign-t"), "{}", spec.name);
+        assert_eq!(spec.points.len(), 2 * GEN_CAMPAIGN_ORGS.len());
+        assert!(spec.normalize);
+        assert!(spec.points.iter().all(|p| p.trace.is_some()));
+        assert!(spec
+            .points
+            .iter()
+            .any(|p| p.workload == "trace:straight_line"));
+
+        // Stable: the same trace set always names the same campaign; an
+        // edited trace (new content hash) renames it.
+        assert_eq!(spec.name, trace_campaign_spec(&params).name);
+        let edited = TraceCampaignParams::new(vec![
+            id("examples/traces/straight_line.trace", "ffffffffffffffff"),
+            id("examples/traces/divergent_loop.trace", "0123456789abcdef"),
+        ]);
+        assert_ne!(edited.name(), params.name());
+
+        let multi_sm = TraceCampaignParams {
+            sm_count: 2,
+            ..params.clone()
+        };
+        assert!(multi_sm.name().ends_with("-sm2"), "{}", multi_sm.name());
     }
 
     #[test]

@@ -698,20 +698,34 @@ fn make_record(
 /// Suite points resolve their workload by name against the evaluated suite;
 /// generated points rematerialize theirs from the point's
 /// [`GeneratedWorkload`](crate::spec::GeneratedWorkload) identity (an
-/// index-stable draw, so the same identity always yields the same kernel).
-/// Everything downstream — the runner, normalization against the baseline at
-/// the same SM count, and power reporting — is identical for both.
+/// index-stable draw, so the same identity always yields the same kernel);
+/// trace points re-read, fingerprint-verify, and lower theirs from the
+/// point's [`TraceWorkloadId`](ltrf_trace::TraceWorkloadId) (a missing,
+/// edited, or malformed trace file becomes a typed per-point error, not a
+/// campaign failure). Everything downstream — the runner, normalization
+/// against the baseline at the same SM count, and power reporting — is
+/// identical for all three.
 fn evaluate_point(
     spec: &SweepSpec,
     point: &SweepPoint,
     suite: &HashMap<&str, Workload>,
     seed: u64,
 ) -> PointOutcome {
+    let traced = match point
+        .trace
+        .as_ref()
+        .map(ltrf_trace::TraceWorkloadId::materialize)
+    {
+        Some(Ok(workload)) => Some(workload),
+        Some(Err(e)) => return PointOutcome::Error(e.to_string()),
+        None => None,
+    };
     let generated = point.generated.as_ref().map(|g| g.materialize());
-    let workload = match (&generated, suite.get(point.workload.as_str())) {
-        (Some(generated), _) => generated,
-        (None, Some(suite_workload)) => suite_workload,
-        (None, None) => {
+    let workload = match (&traced, &generated, suite.get(point.workload.as_str())) {
+        (Some(traced), _, _) => traced,
+        (None, Some(generated), _) => generated,
+        (None, None, Some(suite_workload)) => suite_workload,
+        (None, None, None) => {
             return PointOutcome::Error(format!(
                 "unknown workload `{}` (not in the evaluated suite)",
                 point.workload

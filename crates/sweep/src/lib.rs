@@ -35,7 +35,12 @@
 //!   (`--sm-counts 1,2,4,8`), and `gen-campaign`, which sweeps a seeded
 //!   random population of hundreds of generated kernels (`--population`,
 //!   `--seed`, generator bounds as flags) far beyond the paper's fixed
-//!   suite;
+//!   suite, and `trace-campaign`, which ingests accelsim-style kernel trace
+//!   files (`--trace`, repeatable; the `ltrf-trace` frontend lowers each
+//!   dynamic PC stream back into a CFG with recovered branch behaviors) and
+//!   sweeps the lowered kernels under BL and LTRF — see
+//!   [`SweepSpecBuilder::trace_population`] and
+//!   [`campaigns::TraceCampaignParams`];
 //! * [`campaigns`] holds the canonical spec constructors — exactly one
 //!   definition per paper artifact — and [`api`] wraps them in the campaign
 //!   registry: typed [`Campaign`] definitions (name/aliases, parameter
@@ -84,12 +89,13 @@ pub const CAMPAIGN_SEED: u64 = 0x17F2_2018;
 
 pub use api::{registry, ArtifactKind, Campaign, CampaignParams, CampaignRegistry, ParamSpec};
 pub use cache::{point_key, PointKey, ResultCache, CACHE_SCHEMA_VERSION, ENGINE_FINGERPRINT};
-pub use campaigns::GenCampaignParams;
+pub use campaigns::{GenCampaignParams, TraceCampaignParams};
 pub use executor::{
     event_channel, parallel_points, relative_ipc_series, run_sweep, CampaignEvent,
     CampaignObserver, CampaignSession, EventLog, EventSender, ExecutorOptions, PointData,
     PointMeans, PointOutcome, PointRecord, SweepResults, Unobserved,
 };
+pub use ltrf_trace::{LoweringBounds, TraceWorkloadId};
 pub use pool::{default_threads, parallel_map};
 pub use spec::{
     GeneratedWorkload, MemorySelection, SeedMode, SweepPoint, SweepSpec, SweepSpecBuilder,

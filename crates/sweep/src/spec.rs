@@ -18,6 +18,7 @@ use serde::{Deserialize, Serialize};
 use ltrf_core::{ExperimentConfig, Organization};
 use ltrf_sim::MemoryBehavior;
 use ltrf_tech::PowerParams;
+use ltrf_trace::TraceWorkloadId;
 use ltrf_workloads::{GeneratorConfig, Workload, WorkloadGenerator};
 
 /// Memory behaviour selection for a point.
@@ -111,6 +112,11 @@ pub struct SweepPoint {
     /// The generated-population identity, when this point's workload is a
     /// population member rather than a suite benchmark.
     pub generated: Option<GeneratedWorkload>,
+    /// The trace identity (path + content fingerprint + lowering bounds),
+    /// when this point's workload is lowered from an execution trace. The
+    /// executor rematerializes the kernel from the identity when the point
+    /// runs, and the cache serializes the identity into the key material.
+    pub trace: Option<TraceWorkloadId>,
     /// Memory behaviour selection.
     pub memory: MemorySelection,
     /// The full experiment configuration (organization, Table 2 design
@@ -153,6 +159,7 @@ pub struct SweepSpecBuilder {
     organizations: Vec<Organization>,
     workloads: Vec<String>,
     generated_population: Option<(u64, usize, GeneratorConfig)>,
+    trace_population: Vec<TraceWorkloadId>,
     config_ids: Vec<u8>,
     latency_factors: Vec<Option<f64>>,
     registers_per_interval: Vec<usize>,
@@ -173,6 +180,7 @@ impl SweepSpecBuilder {
             organizations: vec![Organization::Ltrf],
             workloads: Vec::new(),
             generated_population: None,
+            trace_population: Vec::new(),
             config_ids: vec![6],
             latency_factors: vec![None],
             registers_per_interval: vec![16],
@@ -249,6 +257,19 @@ impl SweepSpecBuilder {
             self.name
         );
         self.generated_population = Some((population_seed, count, config));
+        self
+    }
+
+    /// Sets the workload axis to a set of trace-driven workloads, identified
+    /// by path + content fingerprint + lowering bounds. May be combined with
+    /// named suite workloads and a generated population; trace members are
+    /// enumerated last. The executor rematerializes each kernel from its
+    /// identity when the point runs, so a trace file that changed on disk
+    /// (or fails to parse/lower) surfaces as a per-point failure rather than
+    /// a stale result.
+    #[must_use]
+    pub fn trace_population(mut self, traces: impl IntoIterator<Item = TraceWorkloadId>) -> Self {
+        self.trace_population = traces.into_iter().collect();
         self
     }
 
@@ -331,13 +352,14 @@ impl SweepSpecBuilder {
     #[must_use]
     pub fn build(self) -> SweepSpec {
         // The workload axis: named suite benchmarks first, then the
-        // generated population's members (names only — the executor
-        // materializes kernels from the identity when the point runs).
-        let mut workload_axis: Vec<(String, Option<GeneratedWorkload>)> = self
-            .workloads
-            .iter()
-            .map(|name| (name.clone(), None))
-            .collect();
+        // generated population's members, then trace-driven workloads
+        // (names and identities only — the executor materializes kernels
+        // from the identity when the point runs).
+        let mut workload_axis: Vec<(String, Option<GeneratedWorkload>, Option<TraceWorkloadId>)> =
+            self.workloads
+                .iter()
+                .map(|name| (name.clone(), None, None))
+                .collect();
         if let Some((population_seed, count, config)) = self.generated_population {
             for index in 0..count {
                 let index = u32::try_from(index).expect("population fits in u32 indices");
@@ -348,12 +370,17 @@ impl SweepSpecBuilder {
                         index,
                         config,
                     }),
+                    None,
                 ));
             }
         }
+        for trace in &self.trace_population {
+            workload_axis.push((trace.workload_name().to_string(), None, Some(trace.clone())));
+        }
         assert!(
             !workload_axis.is_empty(),
-            "sweep `{}` has no workloads; call workloads(), full_suite(), or generated_population()",
+            "sweep `{}` has no workloads; call workloads(), full_suite(), generated_population(), \
+             or trace_population()",
             self.name
         );
         let axis_len = self.organizations.len()
@@ -365,7 +392,7 @@ impl SweepSpecBuilder {
             * self.sm_counts.len()
             * self.memory.len();
         let mut points = Vec::with_capacity(axis_len);
-        for (workload, generated) in &workload_axis {
+        for (workload, generated, trace) in &workload_axis {
             for &org in &self.organizations {
                 for &config_id in &self.config_ids {
                     for &latency in &self.latency_factors {
@@ -383,6 +410,7 @@ impl SweepSpecBuilder {
                                         points.push(SweepPoint {
                                             workload: workload.clone(),
                                             generated: *generated,
+                                            trace: trace.clone(),
                                             memory,
                                             config,
                                         });

@@ -1,0 +1,138 @@
+//! Typed errors for trace ingestion.
+//!
+//! Every failure mode of the parser and the lowering pass is represented
+//! here; malformed input must surface as one of these variants, never as a
+//! panic (a property pinned by the crate's fuzzing tests).
+
+use std::fmt;
+
+/// Any error produced while reading, parsing, or lowering a trace.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TraceError {
+    /// The trace file could not be read.
+    Io {
+        /// Path that failed to read.
+        path: String,
+        /// Operating-system error message.
+        message: String,
+    },
+    /// A line did not match the trace grammar.
+    Syntax {
+        /// 1-based line number of the offending line.
+        line: usize,
+        /// What was wrong with it.
+        message: String,
+    },
+    /// An instruction line used a mnemonic the lowering pass cannot map.
+    UnknownOpcode {
+        /// 1-based line number of the offending line.
+        line: usize,
+        /// The unrecognised mnemonic.
+        opcode: String,
+    },
+    /// A register operand exceeds the architectural register space.
+    RegisterOutOfRange {
+        /// 1-based line number of the offending line.
+        line: usize,
+        /// The out-of-range register number.
+        register: u64,
+    },
+    /// A required kernel-header directive never appeared.
+    MissingHeader {
+        /// The missing directive (e.g. `-nregs`).
+        directive: &'static str,
+    },
+    /// The trace contains no warp streams, or its first stream is empty.
+    EmptyTrace,
+    /// The kernel declares or references more registers than the ISA allows.
+    TooManyRegisters {
+        /// The declared/derived per-thread register count.
+        declared: u32,
+    },
+    /// The first warp stream is longer than the lowering bound allows.
+    DynamicLimitExceeded {
+        /// Number of instruction records in the stream.
+        instructions: u64,
+        /// The configured bound.
+        limit: u64,
+    },
+    /// Lowering reconstructed more basic blocks than the bound allows.
+    TooManyBlocks {
+        /// Number of reconstructed blocks.
+        blocks: usize,
+        /// The configured bound.
+        limit: usize,
+    },
+    /// The dynamic PC stream implies control flow the kernel IR cannot
+    /// express (e.g. a three-way indirect branch).
+    IrregularControlFlow {
+        /// PC of the instruction with the irregular successor set.
+        pc: u64,
+        /// What was irregular about it.
+        message: String,
+    },
+    /// The file's content no longer matches the fingerprint recorded in a
+    /// [`TraceWorkloadId`](crate::TraceWorkloadId).
+    ContentChanged {
+        /// Path of the re-read file.
+        path: String,
+        /// Fingerprint recorded at identity-capture time.
+        expected: String,
+        /// Fingerprint of the file as it is now.
+        actual: String,
+    },
+    /// The lowered control-flow graph failed kernel validation.
+    Lowering {
+        /// The underlying `ltrf-isa` validation error.
+        message: String,
+    },
+}
+
+impl fmt::Display for TraceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceError::Io { path, message } => write!(f, "cannot read trace `{path}`: {message}"),
+            TraceError::Syntax { line, message } => write!(f, "trace line {line}: {message}"),
+            TraceError::UnknownOpcode { line, opcode } => {
+                write!(f, "trace line {line}: unknown opcode `{opcode}`")
+            }
+            TraceError::RegisterOutOfRange { line, register } => {
+                write!(f, "trace line {line}: register R{register} is out of range (max R255)")
+            }
+            TraceError::MissingHeader { directive } => {
+                write!(f, "trace header is missing the `{directive}` directive")
+            }
+            TraceError::EmptyTrace => write!(f, "trace has no warp instruction records"),
+            TraceError::TooManyRegisters { declared } => {
+                write!(f, "trace kernel needs {declared} registers per thread (max 256)")
+            }
+            TraceError::DynamicLimitExceeded {
+                instructions,
+                limit,
+            } => write!(
+                f,
+                "trace stream has {instructions} instructions, over the lowering bound of {limit}"
+            ),
+            TraceError::TooManyBlocks { blocks, limit } => write!(
+                f,
+                "trace lowers to {blocks} basic blocks, over the lowering bound of {limit}"
+            ),
+            TraceError::IrregularControlFlow { pc, message } => {
+                write!(f, "irregular control flow at pc {pc:#06x}: {message}")
+            }
+            TraceError::ContentChanged {
+                path,
+                expected,
+                actual,
+            } => write!(
+                f,
+                "trace `{path}` changed on disk (fingerprint {actual}, identity recorded {expected})"
+            ),
+            TraceError::Lowering { message } => {
+                write!(f, "lowered kernel failed validation: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TraceError {}

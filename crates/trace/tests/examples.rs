@@ -1,0 +1,109 @@
+//! The checked-in example traces under `examples/traces/` must parse, lower,
+//! and — where their recovered branch behaviors are exact — replay to the
+//! very PC sequence recorded in the file. These are the traces the docs and
+//! the default `sweep trace-campaign` invocation use.
+
+use std::path::PathBuf;
+
+use ltrf_trace::{lower, parse_str, LoweringBounds, TraceWorkloadId};
+use ltrf_workloads::MemoryProfile;
+
+fn example(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join(format!("../../examples/traces/{name}"))
+}
+
+fn read_example(name: &str) -> String {
+    let path = example(name);
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("cannot read {}: {e}", path.display()))
+}
+
+fn raw_pc_stream(source: &str) -> Vec<u64> {
+    parse_str(source).unwrap().warps[0]
+        .instructions
+        .iter()
+        .map(|i| i.pc)
+        .collect()
+}
+
+/// Traces whose branches all lower to exact behaviors (loops, unconditional
+/// transfers) replay the raw dynamic instruction stream record for record.
+#[test]
+fn exact_traces_replay_their_raw_pc_sequence() {
+    for name in ["straight_line.trace", "high_register_pressure.trace"] {
+        let source = read_example(name);
+        let lowered = lower(&parse_str(&source).unwrap(), &LoweringBounds::default()).unwrap();
+        let raw = raw_pc_stream(&source);
+        for seed in [1u64, 42, 0xDEAD] {
+            assert_eq!(
+                lowered.replayed_pc_sequence(seed),
+                raw,
+                "{name} replay diverges from the raw trace (seed {seed})"
+            );
+        }
+    }
+}
+
+#[test]
+fn straight_line_is_one_streaming_block() {
+    let source = read_example("straight_line.trace");
+    let trace = parse_str(&source).unwrap();
+    let lowered = lower(&trace, &LoweringBounds::default()).unwrap();
+    assert_eq!(lowered.kernel.cfg.block_count(), 1);
+    assert_eq!(lowered.kernel.regs_per_thread(), 12);
+    assert!(!lowered.kernel.is_register_sensitive());
+    assert_eq!(ltrf_trace::memory_profile(&trace), MemoryProfile::Streaming);
+}
+
+#[test]
+fn divergent_loop_recovers_loop_and_divergence() {
+    let source = read_example("divergent_loop.trace");
+    let trace = parse_str(&source).unwrap();
+    let lowered = lower(&trace, &LoweringBounds::default()).unwrap();
+    assert_eq!(ltrf_trace::memory_profile(&trace), MemoryProfile::Irregular);
+    // Head block [0008,0010], then-side, join/latch, plus entry and exit.
+    assert_eq!(lowered.kernel.cfg.block_count(), 5);
+    // Whatever path the probabilistic diamond takes, the recovered Loop(4)
+    // latch runs the loop exactly four times and the kernel exits at 0x40.
+    for seed in [3u64, 17, 1234] {
+        let pcs = lowered.replayed_pc_sequence(seed);
+        let head_visits = pcs.iter().filter(|&&pc| pc == 0x8).count();
+        assert_eq!(head_visits, 4, "loop trip count (seed {seed})");
+        assert_eq!(pcs.first(), Some(&0x0));
+        assert_eq!(pcs.last(), Some(&0x40));
+    }
+}
+
+#[test]
+fn high_register_pressure_is_sensitive() {
+    let source = read_example("high_register_pressure.trace");
+    let trace = parse_str(&source).unwrap();
+    let lowered = lower(&trace, &LoweringBounds::default()).unwrap();
+    assert_eq!(lowered.kernel.regs_per_thread(), 64);
+    assert!(lowered.kernel.is_register_sensitive());
+    assert_eq!(
+        ltrf_trace::memory_profile(&trace),
+        MemoryProfile::CacheResident
+    );
+    assert_eq!(lowered.kernel.launch().warps_per_block, 8);
+    assert_eq!(lowered.kernel.launch().blocks_per_grid, 2);
+}
+
+/// The example traces materialize through the sweep-facing identity type,
+/// exactly as `sweep trace-campaign` consumes them.
+#[test]
+fn examples_materialize_as_workloads() {
+    for (name, expected) in [
+        ("straight_line.trace", "trace:straight_line"),
+        ("divergent_loop.trace", "trace:divergent_loop"),
+        (
+            "high_register_pressure.trace",
+            "trace:high_register_pressure",
+        ),
+    ] {
+        let id = TraceWorkloadId::from_path(example(name)).unwrap();
+        assert_eq!(id.workload_name(), expected);
+        let workload = id.materialize().unwrap();
+        assert_eq!(workload.name(), expected);
+        assert!(workload.kernel.static_instruction_count() > 0);
+    }
+}

@@ -1,0 +1,140 @@
+//! Property tests for the trace parser.
+//!
+//! * Roundtrip: any well-formed trace survives `write_trace` → `parse_str`
+//!   structurally unchanged.
+//! * Fuzzing: arbitrary bytes and mutilated variants of a valid trace must
+//!   produce a typed [`TraceError`](ltrf_trace::TraceError) — never a panic.
+
+use ltrf_isa::Opcode;
+use ltrf_trace::{
+    parse_str, write_trace, KernelHeader, TraceFile, TraceInstruction, TraceOp, WarpStream,
+};
+use proptest::collection;
+use proptest::prelude::*;
+
+/// A tiny deterministic generator (xorshift64*) so traces of arbitrary shape
+/// can be derived from a single proptest-supplied seed.
+struct Gen(u64);
+
+impl Gen {
+    fn next(&mut self) -> u64 {
+        let mut x = self.0.max(1);
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.0 = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n.max(1)
+    }
+}
+
+const OPS: [TraceOp; 18] = [
+    TraceOp::Branch,
+    TraceOp::Exit,
+    TraceOp::Op(Opcode::IAlu),
+    TraceOp::Op(Opcode::IMul),
+    TraceOp::Op(Opcode::FAlu),
+    TraceOp::Op(Opcode::FFma),
+    TraceOp::Op(Opcode::Sfu),
+    TraceOp::Op(Opcode::Mov),
+    TraceOp::Op(Opcode::SetP),
+    TraceOp::Op(Opcode::LoadGlobal),
+    TraceOp::Op(Opcode::LoadShared),
+    TraceOp::Op(Opcode::LoadConst),
+    TraceOp::Op(Opcode::LoadLocal),
+    TraceOp::Op(Opcode::StoreGlobal),
+    TraceOp::Op(Opcode::StoreShared),
+    TraceOp::Op(Opcode::StoreLocal),
+    TraceOp::Op(Opcode::Barrier),
+    TraceOp::Op(Opcode::Nop),
+];
+
+/// Derives a structurally valid trace of pseudo-random shape from a seed.
+fn trace_from_seed(seed: u64) -> TraceFile {
+    let mut g = Gen(seed);
+    let warp_count = 1 + g.below(3) as usize;
+    let warps = (0..warp_count)
+        .map(|w| {
+            let len = 1 + g.below(12) as usize;
+            let instructions = (0..len)
+                .map(|i| {
+                    let op = OPS[g.below(OPS.len() as u64) as usize];
+                    let mem_width = if g.below(3) == 0 { 4 } else { 0 };
+                    let addresses = if mem_width > 0 {
+                        (0..g.below(5)).map(|_| g.next() >> 16).collect()
+                    } else {
+                        Vec::new()
+                    };
+                    TraceInstruction {
+                        pc: (i as u64) * 8,
+                        mask: g.next() as u32,
+                        dsts: (0..g.below(3)).map(|_| g.below(256) as u8).collect(),
+                        op,
+                        srcs: (0..g.below(5)).map(|_| g.below(256) as u8).collect(),
+                        mem_width,
+                        addresses,
+                    }
+                })
+                .collect();
+            WarpStream {
+                warp_id: w as u32,
+                instructions,
+            }
+        })
+        .collect();
+    TraceFile {
+        header: KernelHeader {
+            kernel_name: format!("gen{}", g.below(1000)),
+            grid_dim: (1 + g.below(16) as u32, 1 + g.below(4) as u32, 1),
+            block_dim: (32 * (1 + g.below(8) as u32), 1, 1),
+            nregs: g.below(256) as u32,
+            shmem: (g.below(64) * 256) as u32,
+        },
+        warps,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Generated traces roundtrip through the writer and back, bit-equal as
+    /// structures.
+    #[test]
+    fn writer_parser_roundtrip(seed in any::<u64>()) {
+        let trace = trace_from_seed(seed);
+        let rendered = write_trace(&trace);
+        let reparsed = parse_str(&rendered);
+        prop_assert_eq!(reparsed.as_ref(), Ok(&trace), "rendered:\n{}", rendered);
+    }
+
+    /// Arbitrary bytes never panic the parser; they parse or fail typed.
+    #[test]
+    fn arbitrary_bytes_never_panic(bytes in collection::vec(any::<u8>(), 0..512)) {
+        let text = String::from_utf8_lossy(&bytes);
+        let _ = parse_str(&text);
+    }
+
+    /// Mutilating a valid trace (truncating a line, splicing in garbage
+    /// tokens) never panics; failures surface as typed errors.
+    #[test]
+    fn mutilated_traces_fail_typed(seed in any::<u64>(), cut in 0usize..6000, splice in any::<u16>()) {
+        let rendered = write_trace(&trace_from_seed(seed));
+
+        // Truncate the file at an arbitrary char boundary.
+        let cut = cut.min(rendered.len());
+        let truncated: String = rendered.chars().take(cut).collect();
+        let _ = parse_str(&truncated);
+
+        // Replace one line with garbage tokens.
+        let mut lines: Vec<String> = rendered.lines().map(str::to_string).collect();
+        if !lines.is_empty() {
+            let idx = (seed as usize) % lines.len();
+            lines[idx] = format!("{splice} zz R999 ???");
+            let mutated = lines.join("\n");
+            let _ = parse_str(&mutated);
+        }
+    }
+}

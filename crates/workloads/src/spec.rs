@@ -21,6 +21,9 @@ pub enum BenchmarkSuite {
     Rodinia,
     /// The Parboil throughput-computing suite.
     Parboil,
+    /// Workloads lowered from an external execution trace (`ltrf-trace`),
+    /// rather than modelled after a published suite.
+    Traced,
 }
 
 /// Coarse memory-access character of a workload.

@@ -13,7 +13,9 @@
 //! * [`sim`] — the cycle-level SM timing simulator,
 //! * [`core`] — the register-file organizations (BL, RFC, SHRF, LTRF, LTRF+,
 //!   Ideal) and the experiment runner,
-//! * [`workloads`] — the synthetic benchmark suite.
+//! * [`workloads`] — the synthetic benchmark suite,
+//! * [`trace`] — accelsim-style trace ingestion (recorded workloads lowered
+//!   back into kernels).
 //!
 //! ## Quickstart
 //!
@@ -35,4 +37,5 @@ pub use ltrf_core as core;
 pub use ltrf_isa as isa;
 pub use ltrf_sim as sim;
 pub use ltrf_tech as tech;
+pub use ltrf_trace as trace;
 pub use ltrf_workloads as workloads;
