@@ -21,11 +21,18 @@
 //! * `trace-campaign` — BL vs. LTRF over the three checked-in example
 //!   traces (the `ltrf-trace` ingestion frontend, whose cache identity is
 //!   the trace file's content fingerprint).
+//!
+//! With `--check`, the binary instead runs the same slices and compares them
+//! against the committed snapshot without rewriting it: every warm pass must
+//! hit the cache on 100% of points, and every cold pass must stay within 30%
+//! of the committed points-per-second figure. A violation exits nonzero, so
+//! CI can use this as a perf smoke gate over the checked-in trajectory.
 
 use std::path::{Path, PathBuf};
+use std::process::ExitCode;
 use std::time::Instant;
 
-use serde::Serialize;
+use serde::{Serialize, Value};
 
 use ltrf_sweep::{registry, run_sweep, CampaignParams, ExecutorOptions, SweepResults, SweepSpec};
 
@@ -140,13 +147,12 @@ fn example_traces() -> Vec<String> {
         .collect()
 }
 
-fn main() {
-    let output: PathBuf = std::env::args().nth(1).map_or_else(
-        || Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_sweep.json"),
-        PathBuf::from,
-    );
+/// A cold pass may run up to 30% slower than the committed snapshot before
+/// `--check` fails; slack for machine noise, not for real regressions.
+const COLD_REGRESSION_FLOOR: f64 = 0.7;
 
-    let slices = vec![
+fn measure_all() -> Vec<Slice> {
+    vec![
         measure(
             "table2-quick",
             "table2",
@@ -163,17 +169,109 @@ fn main() {
                 ..CampaignParams::default()
             },
         ),
-    ];
+    ]
+}
 
+/// The committed cold points-per-second figure for `name`, if the snapshot
+/// records that slice.
+fn committed_cold_rate(snapshot: &Value, name: &str) -> Option<f64> {
+    snapshot
+        .get("slices")?
+        .as_array()?
+        .iter()
+        .find(|s| s.get("name").and_then(Value::as_str) == Some(name))?
+        .get("cold")?
+        .get("points_per_sec")?
+        .as_f64()
+}
+
+/// Runs the slices and compares them against the committed snapshot: every
+/// warm pass must hit on 100% of points, and no cold pass may fall below
+/// [`COLD_REGRESSION_FLOOR`] of its committed points-per-second figure.
+fn check(snapshot_path: &Path) -> ExitCode {
+    let text = std::fs::read_to_string(snapshot_path).unwrap_or_else(|e| {
+        panic!("cannot read {}: {e}", snapshot_path.display());
+    });
+    let snapshot = Value::parse_json(&text).unwrap_or_else(|e| {
+        panic!("{} is not valid JSON: {e}", snapshot_path.display());
+    });
+
+    let mut failures = Vec::new();
+    for slice in measure_all() {
+        if slice.warm.cached != slice.points {
+            failures.push(format!(
+                "slice `{}`: warm pass hit only {}/{} points — the cache identity or \
+                 engine determinism regressed",
+                slice.name, slice.warm.cached, slice.points
+            ));
+        }
+        if slice.failures != 0 {
+            failures.push(format!(
+                "slice `{}`: {} points failed to compute",
+                slice.name, slice.failures
+            ));
+        }
+        match committed_cold_rate(&snapshot, &slice.name) {
+            Some(committed) => {
+                let floor = committed * COLD_REGRESSION_FLOOR;
+                if slice.cold.points_per_sec < floor {
+                    failures.push(format!(
+                        "slice `{}`: cold throughput regressed — {:.1} points/s vs \
+                         committed {committed:.1} (floor {floor:.1})",
+                        slice.name, slice.cold.points_per_sec
+                    ));
+                } else {
+                    println!(
+                        "slice `{}`: cold {:.1} points/s vs committed {committed:.1} \
+                         (floor {floor:.1}) — ok",
+                        slice.name, slice.cold.points_per_sec
+                    );
+                }
+            }
+            None => failures.push(format!(
+                "slice `{}` is missing from {} — regenerate the snapshot",
+                slice.name,
+                snapshot_path.display()
+            )),
+        }
+    }
+
+    if failures.is_empty() {
+        println!("perf check passed against {}", snapshot_path.display());
+        ExitCode::SUCCESS
+    } else {
+        for failure in &failures {
+            eprintln!("FAIL: {failure}");
+        }
+        ExitCode::FAILURE
+    }
+}
+
+fn main() -> ExitCode {
+    let default_snapshot = || Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_sweep.json");
+    let mut args = std::env::args().skip(1);
+    match args.next().as_deref() {
+        Some("--check") => {
+            let snapshot = args.next().map_or_else(default_snapshot, PathBuf::from);
+            return check(&snapshot);
+        }
+        Some(path) => return write_snapshot(&PathBuf::from(path)),
+        None => {}
+    }
+    write_snapshot(&default_snapshot())
+}
+
+fn write_snapshot(output: &Path) -> ExitCode {
     let report = BenchReport {
         benchmark: "sweep-engine throughput and cache behaviour (cold vs. warm)",
         command: "cargo run --release -p ltrf-bench --bin bench_sweep",
         threads: ltrf_sweep::default_threads(),
-        slices,
+        slices: measure_all(),
     };
     let json = serde::to_json_string(&report);
-    std::fs::write(&output, format!("{json}\n")).unwrap_or_else(|e| {
+    std::fs::write(output, format!("{json}\n")).unwrap_or_else(|e| {
         panic!("cannot write {}: {e}", output.display());
     });
     println!("wrote {}", output.display());
+    ExitCode::SUCCESS
 }

@@ -61,6 +61,7 @@ pub use error::CoreError;
 pub use latency_tolerance::{
     latency_sweep, paper_latency_factors, LatencySweep, LatencySweepPoint,
 };
+pub use ltrf_sim::EngineKind;
 pub use occupancy::{capacity_requirement, CapacityRequirement, GpuArchitecture};
 pub use organizations::{
     build_organization, build_organization_fleet, BuiltOrganization, LtrfParams, LtrfRegisterFile,
@@ -69,6 +70,7 @@ pub use organizations::{
 pub use overheads::{overhead_report, OverheadInputs, OverheadReport};
 pub use runner::{
     run_baseline_reference, run_baseline_reference_at, run_experiment, run_experiment_via_gpu,
-    run_normalized, ExperimentConfig, NormalizedResult, RunResult,
+    run_experiment_via_gpu_with_engine, run_experiment_with_engine, run_normalized,
+    ExperimentConfig, NormalizedResult, RunResult,
 };
 pub use wcb::{WarpControlBlock, WcbStorageCost};

@@ -5,7 +5,8 @@ use serde::{Deserialize, Serialize};
 
 use ltrf_isa::Kernel;
 use ltrf_sim::{
-    simulate, simulate_gpu, GpuConfig, GpuStats, MemoryBehavior, SimStats, SimWorkload, SmConfig,
+    simulate_gpu_with, simulate_with, EngineKind, GpuConfig, GpuStats, MemoryBehavior, SimStats,
+    SimWorkload, SmConfig,
 };
 use ltrf_tech::{PowerBreakdown, PowerParams, RegFileConfig, RegFilePowerModel};
 
@@ -219,6 +220,27 @@ pub fn run_experiment(
     seed: u64,
     config: &ExperimentConfig,
 ) -> Result<RunResult, CoreError> {
+    run_experiment_with_engine(kernel, memory, seed, config, EngineKind::default())
+}
+
+/// [`run_experiment`] with an explicitly chosen simulator engine.
+///
+/// The engine kind is deliberately *not* part of [`ExperimentConfig`] (whose
+/// serialized form is content-addressed cache-key material): both engines
+/// produce bit-identical results, so a cached point is valid under either.
+/// The differential test suite passes [`EngineKind::Reference`] here to pin
+/// the fast path against the oracle.
+///
+/// # Errors
+///
+/// Propagates compiler failures for software-managed organizations.
+pub fn run_experiment_with_engine(
+    kernel: &Kernel,
+    memory: MemoryBehavior,
+    seed: u64,
+    config: &ExperimentConfig,
+    engine: EngineKind,
+) -> Result<RunResult, CoreError> {
     if config.sm_count.max(1) == 1 {
         let sm = config.sm_config();
         let mut built = build_organization(
@@ -231,10 +253,10 @@ pub fn run_experiment(
         let workload = SimWorkload::new(built.kernel.clone())
             .with_memory(memory)
             .with_seed(seed);
-        let stats = simulate(&workload, &sm, built.model.as_mut());
+        let stats = simulate_with(&workload, &sm, built.model.as_mut(), engine);
         Ok(finish_run(stats, None, config))
     } else {
-        run_experiment_via_gpu(kernel, memory, seed, config)
+        run_experiment_via_gpu_with_engine(kernel, memory, seed, config, engine)
     }
 }
 
@@ -257,6 +279,23 @@ pub fn run_experiment_via_gpu(
     memory: MemoryBehavior,
     seed: u64,
     config: &ExperimentConfig,
+) -> Result<RunResult, CoreError> {
+    run_experiment_via_gpu_with_engine(kernel, memory, seed, config, EngineKind::default())
+}
+
+/// [`run_experiment_via_gpu`] with an explicitly chosen simulator engine
+/// (see [`run_experiment_with_engine`] for why the engine kind is not part
+/// of the experiment configuration).
+///
+/// # Errors
+///
+/// Propagates compiler failures for software-managed organizations.
+pub fn run_experiment_via_gpu_with_engine(
+    kernel: &Kernel,
+    memory: MemoryBehavior,
+    seed: u64,
+    config: &ExperimentConfig,
+    engine: EngineKind,
 ) -> Result<RunResult, CoreError> {
     let sm = config.sm_config();
     let sm_count = config.sm_count.max(1);
@@ -285,7 +324,7 @@ pub fn run_experiment_via_gpu(
         .with_memory(scaled_memory)
         .with_seed(seed);
     let gpu = config.gpu_config();
-    let gpu_stats = simulate_gpu(&workload, &gpu, &mut models);
+    let gpu_stats = simulate_gpu_with(&workload, &gpu, &mut models, engine);
     Ok(finish_run(gpu_stats.aggregate(), Some(gpu_stats), config))
 }
 

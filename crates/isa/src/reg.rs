@@ -206,8 +206,8 @@ impl RegSet {
     /// Iterates over the registers in ascending index order.
     pub fn iter(&self) -> RegSetIter {
         RegSetIter {
-            set: *self,
-            next: 0,
+            words: self.words,
+            word: 0,
         }
     }
 
@@ -307,31 +307,43 @@ impl Sub for RegSet {
 }
 
 /// Iterator over the registers of a [`RegSet`], produced by [`RegSet::iter`].
+///
+/// Skips over empty words and jumps straight to the next set bit with
+/// `trailing_zeros`, so iterating a sparse set costs O(population) rather
+/// than O(256). The order is unchanged: ascending register index.
 #[derive(Debug, Clone)]
 pub struct RegSetIter {
-    set: RegSet,
-    next: usize,
+    words: [u64; WORDS],
+    word: usize,
 }
 
 impl Iterator for RegSetIter {
     type Item = ArchReg;
 
     fn next(&mut self) -> Option<ArchReg> {
-        while self.next < MAX_ARCH_REGS {
-            let idx = self.next;
-            self.next += 1;
-            let reg = ArchReg::new(idx as u8);
-            if self.set.contains(reg) {
-                return Some(reg);
+        while self.word < WORDS {
+            let bits = self.words[self.word];
+            if bits != 0 {
+                let bit = bits.trailing_zeros() as usize;
+                // Clear the lowest set bit; the next call resumes above it.
+                self.words[self.word] = bits & (bits - 1);
+                return Some(ArchReg::new((self.word * 64 + bit) as u8));
             }
+            self.word += 1;
         }
         None
     }
 
     fn size_hint(&self) -> (usize, Option<usize>) {
-        (0, Some(MAX_ARCH_REGS - self.next.min(MAX_ARCH_REGS)))
+        let remaining: usize = self.words[self.word.min(WORDS)..]
+            .iter()
+            .map(|w| w.count_ones() as usize)
+            .sum();
+        (remaining, Some(remaining))
     }
 }
+
+impl ExactSizeIterator for RegSetIter {}
 
 #[cfg(test)]
 mod tests {

@@ -1,0 +1,114 @@
+//! Inner-loop benchmarks for the simulator core: single-SM tick, multi-SM
+//! lock-step cycle, and the scoreboard-check batch, each timed on both the
+//! fast engine and the reference oracle so the speedup is visible in one run.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ltrf_isa::{ArchReg, Kernel, KernelBuilder, LaunchConfig, Opcode};
+use ltrf_sim::{
+    simulate_gpu_with, simulate_with, DirectRegisterFile, EngineKind, GpuConfig, RegisterFileModel,
+    SimWorkload, SmConfig,
+};
+
+/// A loopy kernel mixing ALU dependency chains with global loads, so the
+/// issue path, scoreboard, memory hierarchy, and two-level scheduler all see
+/// traffic.
+fn mixed_kernel(warps_per_block: u32, blocks: u32) -> Kernel {
+    let mut b = KernelBuilder::new("bench-mixed", 24);
+    let entry = b.entry_block();
+    let body = b.add_block();
+    let exit = b.add_block();
+    for i in 0..8 {
+        b.push(entry, Opcode::Mov, Some(ArchReg::new(i)), &[]);
+    }
+    b.jump(entry, body);
+    b.push(
+        body,
+        Opcode::LoadGlobal,
+        Some(ArchReg::new(8)),
+        &[ArchReg::new(0)],
+    );
+    for i in 0..10 {
+        b.push(
+            body,
+            Opcode::FFma,
+            Some(ArchReg::new(9 + (i % 8))),
+            &[ArchReg::new(8), ArchReg::new(i % 8)],
+        );
+    }
+    b.loop_branch(body, body, exit, 24);
+    b.push(
+        exit,
+        Opcode::StoreGlobal,
+        None,
+        &[ArchReg::new(0), ArchReg::new(9)],
+    );
+    b.exit(exit);
+    b.launch(LaunchConfig::new(warps_per_block, blocks, 0));
+    b.build().unwrap()
+}
+
+/// A pure dependency-chain kernel: every instruction reads the previous
+/// destination, so the scoreboard check runs hot on every issue attempt.
+fn scoreboard_kernel(warps: u32) -> Kernel {
+    let mut b = KernelBuilder::new("bench-scoreboard", 16);
+    let e = b.entry_block();
+    for i in 0..200usize {
+        b.push(
+            e,
+            Opcode::FAlu,
+            Some(ArchReg::new(((i + 1) % 12) as u8)),
+            &[ArchReg::new((i % 12) as u8)],
+        );
+    }
+    b.exit(e);
+    b.launch(LaunchConfig::new(warps, 1, 0));
+    b.build().unwrap()
+}
+
+fn bench_both(c: &mut Criterion, group: &str, mut run: impl FnMut(EngineKind) -> u64) {
+    let mut g = c.benchmark_group(group);
+    g.sample_size(10);
+    g.bench_function("fast", |b| b.iter(|| run(EngineKind::Fast)));
+    g.bench_function("reference", |b| b.iter(|| run(EngineKind::Reference)));
+    g.finish();
+}
+
+fn single_sm_tick(c: &mut Criterion) {
+    let workload = SimWorkload::new(mixed_kernel(8, 8)).with_seed(17);
+    let config = SmConfig::default();
+    bench_both(c, "single_sm_tick", |kind| {
+        let mut rf = DirectRegisterFile::new(config.regfile);
+        simulate_with(&workload, &config, &mut rf, kind).cycles
+    });
+}
+
+fn multi_sm_lockstep(c: &mut Criterion) {
+    let workload = SimWorkload::new(mixed_kernel(8, 16)).with_seed(17);
+    let config = GpuConfig {
+        sm_count: 4,
+        ..GpuConfig::default()
+    };
+    bench_both(c, "multi_sm_lockstep", |kind| {
+        let mut rfs: Vec<Box<dyn RegisterFileModel>> = (0..4)
+            .map(|_| Box::new(DirectRegisterFile::new(config.sm.regfile)) as _)
+            .collect();
+        simulate_gpu_with(&workload, &config, &mut rfs, kind).cycles
+    });
+}
+
+fn scoreboard_batch(c: &mut Criterion) {
+    let workload = SimWorkload::new(scoreboard_kernel(32)).with_seed(17);
+    let config = SmConfig::default();
+    bench_both(c, "scoreboard_batch", |kind| {
+        let mut rf = DirectRegisterFile::new(config.regfile);
+        simulate_with(&workload, &config, &mut rf, kind).cycles
+    });
+}
+
+criterion_group!(
+    hot_loop,
+    single_sm_tick,
+    multi_sm_lockstep,
+    scoreboard_batch
+);
+criterion_main!(hot_loop);

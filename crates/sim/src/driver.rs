@@ -1,0 +1,126 @@
+//! The engine-agnostic simulation drivers.
+//!
+//! Both engines — the reference tick loop ([`crate::engine::Engine`]) and
+//! the allocation-free fast path ([`crate::fast::FastEngine`]) — expose the
+//! same five stepping primitives through [`SmEngine`], and both the
+//! single-SM and the multi-SM lock-step schedules are written once against
+//! that trait. This is what makes the differential guarantee auditable: the
+//! *schedule* (which cycles are visited, in which order SMs issue, when
+//! pools refill) is shared code, so the fast engine can only diverge from
+//! the reference through its own stepping primitives — exactly the surface
+//! the differential test suite pins.
+
+use ltrf_isa::Kernel;
+
+use crate::config::SmConfig;
+use crate::memory::{AddressGenerator, MemoryHierarchy};
+use crate::regfile::RegisterFileModel;
+use crate::stats::SimStats;
+use crate::types::Cycle;
+
+/// The stepping primitives one SM engine exposes to the drivers.
+///
+/// `next_event_after` takes `&mut self` because the fast engine retires due
+/// wakeup-queue entries into its eligible heap while computing the horizon;
+/// the reference engine's implementation is read-only.
+pub(crate) trait SmEngine<'a>: Sized {
+    /// Assembles an engine from externally constructed parts: the memory
+    /// hierarchy (private or a shared port), the address generator (whole
+    /// footprint or an SM's shard), and one deterministic seed per resident
+    /// warp.
+    fn with_parts(
+        kernel: &'a Kernel,
+        config: &'a SmConfig,
+        regfile: &'a mut dyn RegisterFileModel,
+        memory: MemoryHierarchy,
+        addresses: AddressGenerator,
+        warp_seeds: &[u64],
+    ) -> Self;
+
+    /// Whether every resident warp has retired.
+    fn is_done(&self) -> bool;
+
+    /// Records a cycle in which this SM issued nothing.
+    fn note_idle(&mut self);
+
+    /// Issues up to `issue_width` instructions from the active pool at
+    /// `cycle`. Returns the number of instructions issued.
+    fn issue_cycle(&mut self, cycle: Cycle) -> usize;
+
+    /// Promotes eligible warps into the active pool until it is full.
+    fn refill_active_pool(&mut self, cycle: Cycle);
+
+    /// Earliest cycle after `cycle` at which anything can change, used to
+    /// fast-forward through idle periods.
+    fn next_event_after(&mut self, cycle: Cycle) -> Cycle;
+
+    /// Closes the books at `cycle` and returns the SM's statistics.
+    fn finalize(self, cycle: Cycle) -> SimStats;
+}
+
+/// Drives one engine to completion with idle-period fast-forwarding.
+pub(crate) fn run_single<'a, E: SmEngine<'a>>(mut engine: E, max_cycles: Cycle) -> SimStats {
+    let mut cycle: Cycle = 0;
+    engine.refill_active_pool(cycle);
+    while !engine.is_done() && cycle < max_cycles {
+        let issued = engine.issue_cycle(cycle);
+        if issued == 0 {
+            engine.note_idle();
+            let next = engine.next_event_after(cycle);
+            cycle = next.max(cycle + 1);
+        } else {
+            cycle += 1;
+        }
+        engine.refill_active_pool(cycle);
+    }
+    engine.finalize(cycle)
+}
+
+/// Drives several engines in lock-step: every SM issues at each visited
+/// cycle in SM-index order; when no SM can issue, the clock fast-forwards to
+/// the earliest event any unfinished SM is waiting on. Returns the per-SM
+/// statistics (in SM order) and the final cycle.
+pub(crate) fn run_lockstep<'a, E: SmEngine<'a>>(
+    mut engines: Vec<E>,
+    max_cycles: Cycle,
+) -> (Vec<SimStats>, Cycle) {
+    let mut cycle: Cycle = 0;
+    for engine in &mut engines {
+        engine.refill_active_pool(cycle);
+    }
+    while engines.iter().any(|e| !e.is_done()) && cycle < max_cycles {
+        let mut any_issued = false;
+        for engine in &mut engines {
+            if engine.is_done() {
+                continue;
+            }
+            if engine.issue_cycle(cycle) == 0 {
+                engine.note_idle();
+            } else {
+                any_issued = true;
+            }
+        }
+        if any_issued {
+            cycle += 1;
+        } else {
+            let mut next = Cycle::MAX;
+            for engine in &mut engines {
+                if !engine.is_done() {
+                    next = next.min(engine.next_event_after(cycle));
+                }
+            }
+            let next = if next == Cycle::MAX { cycle + 1 } else { next };
+            cycle = next.max(cycle + 1);
+        }
+        for engine in &mut engines {
+            if !engine.is_done() {
+                engine.refill_active_pool(cycle);
+            }
+        }
+    }
+    let per_sm: Vec<SimStats> = engines
+        .into_iter()
+        .map(|engine| engine.finalize(cycle))
+        .collect();
+    (per_sm, cycle)
+}

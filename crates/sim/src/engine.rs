@@ -31,6 +31,8 @@
 use ltrf_isa::{Kernel, Opcode, OpcodeClass};
 
 use crate::config::SmConfig;
+use crate::driver::{self, SmEngine};
+use crate::fast::FastEngine;
 use crate::memory::{AddressGenerator, MemoryBehavior, MemoryHierarchy};
 use crate::regfile::RegisterFileModel;
 use crate::stats::SimStats;
@@ -74,13 +76,48 @@ impl SimWorkload {
     }
 }
 
-/// Runs `workload` on one SM with the given register-file organization.
+/// Selects which SM engine implementation executes a simulation.
+///
+/// Both implementations produce bit-identical statistics — the differential
+/// test layer in `crates/core/tests/` pins exact `f64` equality on every
+/// field — so the choice only affects wall-clock speed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum EngineKind {
+    /// The allocation-free, skip-ahead engine (`fast.rs`); the default.
+    #[default]
+    Fast,
+    /// The straightforward tick loop, kept as the differential oracle.
+    Reference,
+}
+
+/// Runs `workload` on one SM with the given register-file organization,
+/// using the default (fast) engine.
 pub fn simulate(
     workload: &SimWorkload,
     config: &SmConfig,
     regfile: &mut dyn RegisterFileModel,
 ) -> SimStats {
-    Engine::new(workload, config, regfile).run()
+    simulate_with(workload, config, regfile, EngineKind::default())
+}
+
+/// Runs `workload` on one SM with an explicitly chosen engine
+/// implementation. [`EngineKind::Reference`] exists for differential testing
+/// and debugging; it is never faster.
+pub fn simulate_with(
+    workload: &SimWorkload,
+    config: &SmConfig,
+    regfile: &mut dyn RegisterFileModel,
+    kind: EngineKind,
+) -> SimStats {
+    match kind {
+        EngineKind::Fast => driver::run_single(
+            FastEngine::new(workload, config, regfile),
+            config.max_cycles,
+        ),
+        EngineKind::Reference => {
+            driver::run_single(Engine::new(workload, config, regfile), config.max_cycles)
+        }
+    }
 }
 
 /// The per-SM pipeline state machine.
@@ -104,7 +141,7 @@ pub(crate) struct Engine<'a> {
 }
 
 impl<'a> Engine<'a> {
-    fn new(
+    pub(crate) fn new(
         workload: &'a SimWorkload,
         config: &'a SmConfig,
         regfile: &'a mut dyn RegisterFileModel,
@@ -117,7 +154,7 @@ impl<'a> Engine<'a> {
         let seeds: Vec<u64> = (0..resident as u64)
             .map(|i| workload.seed ^ (0x9E37 + i * 0x85EB_CA6B))
             .collect();
-        Engine::with_parts(
+        <Engine as SmEngine>::with_parts(
             kernel,
             config,
             regfile,
@@ -125,102 +162,6 @@ impl<'a> Engine<'a> {
             AddressGenerator::new(workload.memory, resident, workload.seed),
             &seeds,
         )
-    }
-
-    /// Assembles an engine from externally constructed parts: the memory
-    /// hierarchy (private or a shared port), the address generator (whole
-    /// footprint or an SM's shard), and one deterministic seed per resident
-    /// warp.
-    pub(crate) fn with_parts(
-        kernel: &'a Kernel,
-        config: &'a SmConfig,
-        regfile: &'a mut dyn RegisterFileModel,
-        memory: MemoryHierarchy,
-        addresses: AddressGenerator,
-        warp_seeds: &[u64],
-    ) -> Self {
-        let warps: Vec<WarpContext> = warp_seeds
-            .iter()
-            .map(|&seed| WarpContext::new(kernel, seed))
-            .collect();
-        let stats = SimStats {
-            warps_resident: warps.len(),
-            ..SimStats::default()
-        };
-        Engine {
-            kernel,
-            config,
-            regfile,
-            memory,
-            addresses,
-            warps,
-            active: Vec::new(),
-            collectors: vec![0; config.operand_collectors.max(1)],
-            stats,
-            finished: 0,
-        }
-    }
-
-    /// Whether every resident warp has retired.
-    pub(crate) fn is_done(&self) -> bool {
-        self.finished >= self.warps.len()
-    }
-
-    /// Records a cycle in which this SM issued nothing.
-    pub(crate) fn note_idle(&mut self) {
-        self.stats.idle_cycles += 1;
-    }
-
-    fn run(mut self) -> SimStats {
-        let mut cycle: Cycle = 0;
-        self.refill_active_pool(cycle);
-        while !self.is_done() && cycle < self.config.max_cycles {
-            let issued = self.issue_cycle(cycle);
-            if issued == 0 {
-                self.note_idle();
-                let next = self.next_event_after(cycle);
-                cycle = next.max(cycle + 1);
-            } else {
-                cycle += 1;
-            }
-            self.refill_active_pool(cycle);
-        }
-        self.finalize(cycle)
-    }
-
-    /// Closes the books at `cycle` and returns the SM's statistics.
-    pub(crate) fn finalize(mut self, cycle: Cycle) -> SimStats {
-        self.stats.cycles = cycle.max(1);
-        self.stats.warps_completed = self.finished;
-        self.stats.truncated = self.finished < self.warps.len();
-        self.stats.regfile_accesses = self.regfile.access_counts();
-        self.stats.regfile_accesses.cycles = self.stats.cycles;
-        self.stats.register_cache_hit_rate = self.regfile.register_cache_hit_rate();
-        self.stats.prefetch_stall_cycles = self.regfile.prefetch_stall_cycles();
-        self.stats.memory = self.memory.stats();
-        self.stats
-    }
-
-    /// Issues up to `issue_width` instructions from the active pool at
-    /// `cycle`. Returns the number of instructions issued.
-    pub(crate) fn issue_cycle(&mut self, cycle: Cycle) -> usize {
-        let mut issued = 0;
-        // Rotate the starting warp each cycle for round-robin fairness.
-        let active_snapshot: Vec<WarpId> = self.active.clone();
-        if active_snapshot.is_empty() {
-            return 0;
-        }
-        let start = (cycle as usize) % active_snapshot.len();
-        for offset in 0..active_snapshot.len() {
-            if issued >= self.config.issue_width {
-                break;
-            }
-            let warp_id = active_snapshot[(start + offset) % active_snapshot.len()];
-            if self.try_issue(warp_id, cycle) {
-                issued += 1;
-            }
-        }
-        issued
     }
 
     /// Attempts to issue one instruction from `warp_id`. Returns `true` on
@@ -381,23 +322,6 @@ impl<'a> Engine<'a> {
         self.regfile.warp_deactivated(warp_id, cycle);
     }
 
-    /// Promotes eligible warps into the active pool until it is full.
-    pub(crate) fn refill_active_pool(&mut self, cycle: Cycle) {
-        while self.active.len() < self.config.active_warps {
-            let candidate = self.pick_activation_candidate(cycle);
-            let Some(warp_id) = candidate else { break };
-            let block = self.warps[warp_id.index()].block;
-            let ready = self.regfile.warp_activated(warp_id, block, cycle);
-            self.warps[warp_id.index()].status = if ready > cycle {
-                WarpStatus::StalledUntil(ready)
-            } else {
-                WarpStatus::Ready
-            };
-            self.active.push(warp_id);
-            self.stats.warp_activations += 1;
-        }
-    }
-
     /// Chooses the next warp to activate: never-started warps first, then the
     /// inactive warp whose pending operation completed the longest ago.
     fn pick_activation_candidate(&mut self, cycle: Cycle) -> Option<WarpId> {
@@ -417,10 +341,84 @@ impl<'a> Engine<'a> {
         }
         best.map(|(id, _)| id)
     }
+}
 
-    /// Earliest cycle after `cycle` at which anything can change, used to
-    /// fast-forward through idle periods.
-    pub(crate) fn next_event_after(&self, cycle: Cycle) -> Cycle {
+impl<'a> SmEngine<'a> for Engine<'a> {
+    fn with_parts(
+        kernel: &'a Kernel,
+        config: &'a SmConfig,
+        regfile: &'a mut dyn RegisterFileModel,
+        memory: MemoryHierarchy,
+        addresses: AddressGenerator,
+        warp_seeds: &[u64],
+    ) -> Self {
+        let warps: Vec<WarpContext> = warp_seeds
+            .iter()
+            .map(|&seed| WarpContext::new(kernel, seed))
+            .collect();
+        let stats = SimStats {
+            warps_resident: warps.len(),
+            ..SimStats::default()
+        };
+        Engine {
+            kernel,
+            config,
+            regfile,
+            memory,
+            addresses,
+            warps,
+            active: Vec::new(),
+            collectors: vec![0; config.operand_collectors.max(1)],
+            stats,
+            finished: 0,
+        }
+    }
+
+    fn is_done(&self) -> bool {
+        self.finished >= self.warps.len()
+    }
+
+    fn note_idle(&mut self) {
+        self.stats.idle_cycles += 1;
+    }
+
+    fn issue_cycle(&mut self, cycle: Cycle) -> usize {
+        let mut issued = 0;
+        // Rotate the starting warp each cycle for round-robin fairness.
+        let active_snapshot: Vec<WarpId> = self.active.clone();
+        if active_snapshot.is_empty() {
+            return 0;
+        }
+        let start = (cycle as usize) % active_snapshot.len();
+        for offset in 0..active_snapshot.len() {
+            if issued >= self.config.issue_width {
+                break;
+            }
+            let warp_id = active_snapshot[(start + offset) % active_snapshot.len()];
+            if self.try_issue(warp_id, cycle) {
+                issued += 1;
+            }
+        }
+        issued
+    }
+
+    fn refill_active_pool(&mut self, cycle: Cycle) {
+        while self.active.len() < self.config.active_warps {
+            let candidate = self.pick_activation_candidate(cycle);
+            let Some(warp_id) = candidate else { break };
+            let block = self.warps[warp_id.index()].block;
+            let ready = self.regfile.warp_activated(warp_id, block, cycle);
+            self.warps[warp_id.index()].status = if ready > cycle {
+                WarpStatus::StalledUntil(ready)
+            } else {
+                WarpStatus::Ready
+            };
+            self.active.push(warp_id);
+            self.stats.warp_activations += 1;
+        }
+    }
+
+    fn next_event_after(&mut self, cycle: Cycle) -> Cycle {
         let mut next = Cycle::MAX;
         for (idx, warp) in self.warps.iter().enumerate() {
             let id = WarpId(idx as u32);
@@ -448,6 +446,18 @@ impl<'a> Engine<'a> {
         } else {
             next
         }
+    }
+
+    fn finalize(mut self, cycle: Cycle) -> SimStats {
+        self.stats.cycles = cycle.max(1);
+        self.stats.warps_completed = self.finished;
+        self.stats.truncated = self.finished < self.warps.len();
+        self.stats.regfile_accesses = self.regfile.access_counts();
+        self.stats.regfile_accesses.cycles = self.stats.cycles;
+        self.stats.register_cache_hit_rate = self.regfile.register_cache_hit_rate();
+        self.stats.prefetch_stall_cycles = self.regfile.prefetch_stall_cycles();
+        self.stats.memory = self.memory.stats();
+        self.stats
     }
 }
 
@@ -623,6 +633,170 @@ mod tests {
         let mut rf2 = DirectRegisterFile::new(big.regfile);
         let stats2 = simulate(&workload, &big, &mut rf2);
         assert_eq!(stats2.warps_resident, 64);
+    }
+
+    /// The fast engine must be bit-identical to the reference tick loop on
+    /// every statistic, across register-file models and scheduler shapes.
+    /// (The cross-organization, multi-SM matrix lives in `ltrf-core`'s
+    /// differential suite; this is the fast in-crate check.)
+    #[test]
+    fn fast_engine_matches_reference_bit_for_bit_on_unit_kernels() {
+        let kernels = [alu_kernel(8), memory_kernel(8)];
+        let configs = [
+            small_config(),
+            SmConfig {
+                active_warps: 1,
+                ..small_config()
+            },
+            SmConfig {
+                operand_collectors: 1,
+                issue_width: 4,
+                ..small_config()
+            },
+        ];
+        for kernel in &kernels {
+            for config in &configs {
+                for seed in [0xC0FFEE_u64, 7] {
+                    let workload = SimWorkload::new(kernel.clone()).with_seed(seed);
+                    let mut rf_fast = DirectRegisterFile::new(config.regfile);
+                    let mut rf_ref = DirectRegisterFile::new(config.regfile);
+                    let fast = simulate_with(&workload, config, &mut rf_fast, EngineKind::Fast);
+                    let reference =
+                        simulate_with(&workload, config, &mut rf_ref, EngineKind::Reference);
+                    assert_eq!(fast, reference, "engines diverged on {}", kernel.name());
+
+                    let mut ideal_fast = IdealRegisterFile::new(config.regfile);
+                    let mut ideal_ref = IdealRegisterFile::new(config.regfile);
+                    let fast = simulate_with(&workload, config, &mut ideal_fast, EngineKind::Fast);
+                    let reference =
+                        simulate_with(&workload, config, &mut ideal_ref, EngineKind::Reference);
+                    assert_eq!(fast, reference, "ideal-RF divergence on {}", kernel.name());
+                }
+            }
+        }
+    }
+
+    /// A kernel of independent writes (no reads, so no scoreboard stalls):
+    /// every active warp can issue every cycle.
+    fn independent_kernel(warps: u32) -> Kernel {
+        let mut b = KernelBuilder::new("indep", 16);
+        let e = b.entry_block();
+        for i in 0..10usize {
+            b.push(e, Opcode::Mov, Some(ArchReg::new((i % 8) as u8)), &[]);
+        }
+        b.exit(e);
+        b.launch(LaunchConfig::new(warps, 1, 0));
+        b.build().unwrap()
+    }
+
+    /// Pins the issue-order assumption the fast engine ports: the round-robin
+    /// walk starts at `cycle % active_pool_len`, so with `issue_width = 1`
+    /// two ready warps alternate rather than warp 0 monopolizing the slot.
+    #[test]
+    fn issue_order_rotates_with_cycle() {
+        let kernel = independent_kernel(2);
+        let workload = SimWorkload::new(kernel);
+        let config = SmConfig {
+            max_warps: 2,
+            active_warps: 2,
+            issue_width: 1,
+            ..SmConfig::default()
+        };
+        let mut rf = DirectRegisterFile::new(config.regfile);
+        let mut engine = Engine::new(&workload, &config, &mut rf);
+        engine.refill_active_pool(0);
+        assert_eq!(engine.issue_cycle(0), 1);
+        assert_eq!(engine.issue_cycle(1), 1);
+        assert_eq!(
+            (
+                engine.warps[0].instructions_executed,
+                engine.warps[1].instructions_executed,
+            ),
+            (1, 1),
+            "cycle 0 starts at warp 0, cycle 1 starts at warp 1"
+        );
+    }
+
+    /// Pins the stale-snapshot assumption: `issue_cycle` iterates the active
+    /// pool as it was at the start of the cycle, so a warp demoted mid-cycle
+    /// (here by a barrier) does not stop later warps from issuing.
+    #[test]
+    fn mid_cycle_demotion_does_not_skip_later_warps() {
+        let mut b = KernelBuilder::new("barrier", 16);
+        let e = b.entry_block();
+        b.push(e, Opcode::Barrier, None, &[]);
+        b.push(e, Opcode::Mov, Some(ArchReg::new(0)), &[]);
+        b.exit(e);
+        b.launch(LaunchConfig::new(2, 1, 0));
+        let kernel = b.build().unwrap();
+        let workload = SimWorkload::new(kernel);
+        let config = SmConfig {
+            max_warps: 2,
+            active_warps: 2,
+            issue_width: 2,
+            ..SmConfig::default()
+        };
+        let mut rf = DirectRegisterFile::new(config.regfile);
+        let mut engine = Engine::new(&workload, &config, &mut rf);
+        engine.refill_active_pool(0);
+        // Warp 0's barrier demotes it from the pool mid-cycle; warp 1 must
+        // still get its issue slot from the cycle-start snapshot.
+        assert_eq!(engine.issue_cycle(0), 2);
+        assert!(engine.active.is_empty(), "both warps demoted by barriers");
+    }
+
+    /// Pins the activation order: a `Pending` (never-started) warp always
+    /// wins, then the eligible inactive warp with the earliest completion,
+    /// then the lowest index on ties — the exact order the fast engine's
+    /// wakeup queue reproduces.
+    #[test]
+    fn activation_prefers_pending_then_earliest_completion_then_index() {
+        let kernel = independent_kernel(4);
+        let workload = SimWorkload::new(kernel);
+        let config = SmConfig {
+            max_warps: 4,
+            active_warps: 1,
+            ..SmConfig::default()
+        };
+        let mut rf = DirectRegisterFile::new(config.regfile);
+        let mut engine = Engine::new(&workload, &config, &mut rf);
+        engine.warps[0].status = WarpStatus::InactiveUntil(3);
+        engine.warps[1].status = WarpStatus::Finished;
+        engine.warps[2].status = WarpStatus::InactiveUntil(2);
+        // Warp 3 is still Pending: it must win over every inactive warp.
+        assert_eq!(engine.pick_activation_candidate(10), Some(WarpId(3)));
+        engine.warps[3].status = WarpStatus::InactiveUntil(2);
+        // No Pending left: earliest completion wins, lowest index on ties.
+        assert_eq!(engine.pick_activation_candidate(10), Some(WarpId(2)));
+        engine.warps[2].status = WarpStatus::Finished;
+        assert_eq!(engine.pick_activation_candidate(10), Some(WarpId(3)));
+        // Not yet eligible at cycle 1.
+        assert_eq!(engine.pick_activation_candidate(1), None);
+    }
+
+    /// Pins the skip-ahead hazard the fast engine's two-heap queue exists
+    /// for: an inactive warp whose wakeup has already passed (eligible but
+    /// unadmitted, pool full) contributes nothing to `next_event_after`.
+    #[test]
+    fn next_event_ignores_due_inactive_warps() {
+        let kernel = independent_kernel(2);
+        let workload = SimWorkload::new(kernel);
+        let config = SmConfig {
+            max_warps: 2,
+            active_warps: 1,
+            ..SmConfig::default()
+        };
+        let mut rf = DirectRegisterFile::new(config.regfile);
+        let mut engine = Engine::new(&workload, &config, &mut rf);
+        engine.warps[0].status = WarpStatus::StalledUntil(100);
+        engine.warps[1].status = WarpStatus::InactiveUntil(5);
+        engine.active.push(WarpId(0));
+        // Warp 1 became eligible at cycle 5 but the pool is full: the next
+        // *time* event is warp 0's stall resolving, not cycle 10 + 1.
+        assert_eq!(engine.next_event_after(10), 100);
+        // A strictly-future wakeup does bound the jump.
+        engine.warps[1].status = WarpStatus::InactiveUntil(40);
+        assert_eq!(engine.next_event_after(10), 40);
     }
 
     #[test]

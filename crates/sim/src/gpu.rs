@@ -30,7 +30,9 @@ use std::rc::Rc;
 use serde::{Deserialize, Serialize};
 
 use crate::config::GpuConfig;
-use crate::engine::{simulate, Engine, SimWorkload};
+use crate::driver::{self, SmEngine};
+use crate::engine::{simulate_with, Engine, EngineKind, SimWorkload};
+use crate::fast::FastEngine;
 use crate::memory::cache::CacheStats;
 use crate::memory::dram::DramStats;
 use crate::memory::{AddressGenerator, MemoryHierarchy, SharedMemory};
@@ -229,7 +231,7 @@ fn dispatch_ctas(
 /// register-file model from `regfiles`, contending for the shared L2 and
 /// DRAM.
 ///
-/// With `sm_count == 1` this is exactly [`simulate`] (same residency rule,
+/// With `sm_count == 1` this is exactly [`crate::simulate`] (same residency rule,
 /// same private hierarchy), so single-SM campaigns reproduce bit for bit.
 ///
 /// # Panics
@@ -241,6 +243,61 @@ pub fn simulate_gpu(
     config: &GpuConfig,
     regfiles: &mut [Box<dyn RegisterFileModel>],
 ) -> GpuStats {
+    simulate_gpu_with(workload, config, regfiles, EngineKind::default())
+}
+
+/// Builds one engine per SM (private L1/MSHR port on the shared L2, sharded
+/// address stream, per-warp seeds derived from the *global* warp index) and
+/// drives them in lock-step.
+fn run_multi_sm<'a, E: SmEngine<'a>>(
+    workload: &'a SimWorkload,
+    config: &'a GpuConfig,
+    regfiles: &'a mut [Box<dyn RegisterFileModel>],
+    plan: &[SmAssignment],
+    shared: &Rc<RefCell<SharedMemory>>,
+    total_warps: usize,
+) -> (Vec<SimStats>, Cycle) {
+    let engines: Vec<E> = regfiles
+        .iter_mut()
+        .zip(plan)
+        .map(|(regfile, assignment)| {
+            let seeds: Vec<u64> = (0..assignment.warps as u64)
+                .map(|w| {
+                    let global = assignment.first_warp as u64 + w;
+                    workload.seed ^ (0x9E37 + global * 0x85EB_CA6B)
+                })
+                .collect();
+            E::with_parts(
+                &workload.kernel,
+                &config.sm,
+                regfile.as_mut(),
+                MemoryHierarchy::shared_port(&config.sm.memory, Rc::clone(shared)),
+                AddressGenerator::sharded(
+                    workload.memory,
+                    assignment.warps,
+                    workload.seed,
+                    assignment.first_warp,
+                    total_warps.max(1),
+                ),
+                &seeds,
+            )
+        })
+        .collect();
+    driver::run_lockstep(engines, config.sm.max_cycles)
+}
+
+/// Runs `workload` on a whole GPU with an explicitly chosen engine
+/// implementation; [`simulate_gpu`] is this with [`EngineKind::default`].
+///
+/// # Panics
+///
+/// Panics if `regfiles.len() != config.sm_count.max(1)`.
+pub fn simulate_gpu_with(
+    workload: &SimWorkload,
+    config: &GpuConfig,
+    regfiles: &mut [Box<dyn RegisterFileModel>],
+    kind: EngineKind,
+) -> GpuStats {
     let sm_count = config.sm_count.max(1);
     assert_eq!(
         regfiles.len(),
@@ -250,7 +307,7 @@ pub fn simulate_gpu(
     let kernel = &workload.kernel;
     let launch = kernel.launch();
     if sm_count == 1 {
-        let stats = simulate(workload, &config.sm, regfiles[0].as_mut());
+        let stats = simulate_with(workload, &config.sm, regfiles[0].as_mut(), kind);
         return GpuStats::from_single_sm(
             stats,
             u64::from(launch.warps_per_block),
@@ -271,73 +328,14 @@ pub fn simulate_gpu(
         &config.sm.memory,
         &config.l2,
     )));
-    let mut engines: Vec<Engine> = regfiles
-        .iter_mut()
-        .zip(&plan)
-        .map(|(regfile, assignment)| {
-            let seeds: Vec<u64> = (0..assignment.warps as u64)
-                .map(|w| {
-                    let global = assignment.first_warp as u64 + w;
-                    workload.seed ^ (0x9E37 + global * 0x85EB_CA6B)
-                })
-                .collect();
-            Engine::with_parts(
-                kernel,
-                &config.sm,
-                regfile.as_mut(),
-                MemoryHierarchy::shared_port(&config.sm.memory, Rc::clone(&shared)),
-                AddressGenerator::sharded(
-                    workload.memory,
-                    assignment.warps,
-                    workload.seed,
-                    assignment.first_warp,
-                    total_warps.max(1),
-                ),
-                &seeds,
-            )
-        })
-        .collect();
-
-    // Lock-step execution: every SM issues at each visited cycle; when no SM
-    // can issue, fast-forward to the earliest event any SM is waiting on.
-    let mut cycle: Cycle = 0;
-    for engine in &mut engines {
-        engine.refill_active_pool(cycle);
-    }
-    while engines.iter().any(|e| !e.is_done()) && cycle < config.sm.max_cycles {
-        let mut any_issued = false;
-        for engine in &mut engines {
-            if engine.is_done() {
-                continue;
-            }
-            if engine.issue_cycle(cycle) == 0 {
-                engine.note_idle();
-            } else {
-                any_issued = true;
-            }
+    let (per_sm, cycle) = match kind {
+        EngineKind::Fast => {
+            run_multi_sm::<FastEngine>(workload, config, regfiles, &plan, &shared, total_warps)
         }
-        if any_issued {
-            cycle += 1;
-        } else {
-            let next = engines
-                .iter()
-                .filter(|e| !e.is_done())
-                .map(|e| e.next_event_after(cycle))
-                .min()
-                .unwrap_or(cycle + 1);
-            cycle = next.max(cycle + 1);
+        EngineKind::Reference => {
+            run_multi_sm::<Engine>(workload, config, regfiles, &plan, &shared, total_warps)
         }
-        for engine in &mut engines {
-            if !engine.is_done() {
-                engine.refill_active_pool(cycle);
-            }
-        }
-    }
-
-    let per_sm: Vec<SimStats> = engines
-        .into_iter()
-        .map(|engine| engine.finalize(cycle))
-        .collect();
+    };
     let (l2, dram, l2_queue_wait_cycles) = {
         let shared = shared.borrow();
         (
@@ -365,6 +363,7 @@ pub fn simulate_gpu(
 mod tests {
     use super::*;
     use crate::config::SmConfig;
+    use crate::engine::simulate;
     use crate::regfile::DirectRegisterFile;
     use ltrf_isa::{ArchReg, Kernel, KernelBuilder, LaunchConfig, Opcode};
 
@@ -456,6 +455,33 @@ mod tests {
         assert_eq!(gpu.per_sm[0], single);
         assert_eq!(gpu.cycles, single.cycles);
         assert_eq!(gpu.instructions, single.instructions);
+    }
+
+    /// The multi-SM lock-step schedule (SMs issue in index order at every
+    /// visited cycle, global fast-forward to the earliest next event) must
+    /// produce bit-identical `GpuStats` from both engines — including the
+    /// shared L2/DRAM counters, which observe the cross-SM request
+    /// interleaving and would diverge on any ordering slip.
+    #[test]
+    fn fast_gpu_matches_reference_gpu_bit_for_bit() {
+        for (blocks, sm_count, seed) in [(8, 4, 42), (16, 2, 7), (4, 4, 0xC0FFEE)] {
+            let kernel = memory_kernel(4, blocks);
+            let workload = SimWorkload::new(kernel).with_seed(seed);
+            let config = gpu_config(sm_count);
+            let fast = simulate_gpu_with(
+                &workload,
+                &config,
+                &mut regfiles(sm_count, &config.sm),
+                EngineKind::Fast,
+            );
+            let reference = simulate_gpu_with(
+                &workload,
+                &config,
+                &mut regfiles(sm_count, &config.sm),
+                EngineKind::Reference,
+            );
+            assert_eq!(fast, reference, "GPU engines diverged at {sm_count} SMs");
+        }
     }
 
     #[test]

@@ -40,19 +40,23 @@
 #![warn(missing_debug_implementations)]
 
 mod config;
+mod driver;
 mod engine;
+mod fast;
 pub mod gpu;
 pub mod memory;
 mod regfile;
 mod stats;
 mod types;
+pub mod wakeup;
 mod warp;
 
 pub use config::{ExecLatencies, GpuConfig, L2Config, MemoryConfig, RegFileTiming, SmConfig};
-pub use engine::{simulate, SimWorkload};
-pub use gpu::{simulate_gpu, GpuStats};
+pub use engine::{simulate, simulate_with, EngineKind, SimWorkload};
+pub use gpu::{simulate_gpu, simulate_gpu_with, GpuStats};
 pub use memory::{AddressGenerator, MemoryBehavior, MemoryStats, SharedMemory};
 pub use regfile::{DirectRegisterFile, IdealRegisterFile, RegisterFileModel};
 pub use stats::SimStats;
 pub use types::{BankArbiter, Cycle, WarpId};
+pub use wakeup::WakeupQueue;
 pub use warp::{WarpContext, WarpStatus};

@@ -152,7 +152,7 @@ impl MemoryHierarchy {
                 llc: Cache::new(config.llc_bytes, config.llc_ways, config.line_bytes),
                 dram: Dram::new(config),
             })),
-            outstanding: Vec::new(),
+            outstanding: Vec::with_capacity(config.max_outstanding_requests),
             stats_global_requests: 0,
             stats_mshr_stalls: 0,
         }
@@ -166,7 +166,7 @@ impl MemoryHierarchy {
             config: *config,
             l1d: Cache::new(config.l1d_bytes, config.l1d_ways, config.line_bytes),
             backend: Backend::Shared(shared),
-            outstanding: Vec::new(),
+            outstanding: Vec::with_capacity(config.max_outstanding_requests),
             stats_global_requests: 0,
             stats_mshr_stalls: 0,
         }

@@ -96,12 +96,6 @@ impl DirectRegisterFile {
     pub fn timing(&self) -> &RegFileTiming {
         &self.timing
     }
-
-    fn bank_of(&self, warp: WarpId, reg: ArchReg) -> usize {
-        // Registers of a warp are interleaved across banks, and different
-        // warps are offset so they do not all hit bank 0 with r0.
-        (reg.index() + warp.index()) % self.banks.bank_count()
-    }
 }
 
 impl RegisterFileModel for DirectRegisterFile {
@@ -124,7 +118,10 @@ impl RegisterFileModel for DirectRegisterFile {
             return now;
         }
         self.counts.mrf_reads += regs.len() as u64;
-        let banks: Vec<usize> = regs.iter().map(|r| self.bank_of(warp, r)).collect();
+        // Registers of a warp are interleaved across banks, and different
+        // warps are offset so they do not all hit bank 0 with r0.
+        let bank_count = self.banks.bank_count();
+        let banks = regs.iter().map(|r| (r.index() + warp.index()) % bank_count);
         self.banks.access_all(banks, now)
     }
 
