@@ -13,14 +13,18 @@
 //! cargo run --release -p ltrf-bench --bin bench_sweep
 //! ```
 //!
-//! Two slices are measured, both with the fixed campaign seed so the work
+//! Three slices are measured, all with the fixed campaign seed so the work
 //! is identical run to run:
 //!
 //! * `table2-quick` — the Table 2 design-point sweep over the quick suite
 //!   (the engine's canonical suite-workload slice);
 //! * `trace-campaign` — BL vs. LTRF over the three checked-in example
 //!   traces (the `ltrf-trace` ingestion frontend, whose cache identity is
-//!   the trace file's content fingerprint).
+//!   the trace file's content fingerprint);
+//! * `gen-10k-streaming` — a 10,000-point generated-population campaign
+//!   (5,000 members × BL/LTRF under tight generator bounds) driven through
+//!   the bounded-memory path: `run_streaming` into a [`StreamingCsvWriter`]
+//!   with no retained records, exercising the packed cache at scale.
 //!
 //! With `--check`, the binary instead runs the same slices and compares them
 //! against the committed snapshot without rewriting it: every warm pass must
@@ -34,7 +38,10 @@ use std::time::Instant;
 
 use serde::{Serialize, Value};
 
-use ltrf_sweep::{registry, run_sweep, CampaignParams, ExecutorOptions, SweepResults, SweepSpec};
+use ltrf_sweep::{
+    registry, run_sweep, CampaignParams, CampaignSession, CampaignTotals, ExecutorOptions,
+    StreamingCsvWriter, SweepResults, SweepSpec, Unobserved,
+};
 
 /// One timed executor pass over a slice.
 #[derive(Debug, Serialize)]
@@ -120,18 +127,85 @@ fn measure(name: &str, campaign: &str, params: &CampaignParams) -> Slice {
     let _ = std::fs::remove_dir_all(&cache_dir);
 
     println!(
-        "{name}: {} points, cold {:.3}s ({:.1} points/s), warm {:.3}s ({}% hit rate)",
+        "{name}: {} points, cold {:.3}s ({:.1} points/s), warm {:.3}s ({:.1}% hit rate)",
         cold_results.len(),
         cold.seconds,
         cold.points_per_sec,
         warm.seconds,
-        ltrf_sweep::floored_hit_percent(warm.cached, warm_results.len()),
+        ltrf_sweep::hit_percent_1dp(warm.cached, warm_results.len()),
     );
     Slice {
         name: name.to_string(),
         campaign: campaign.to_string(),
         points: cold_results.len(),
         failures: cold_results.failure_count(),
+        cold,
+        warm,
+    }
+}
+
+/// One timed pass through the bounded-memory path: `run_streaming` with a
+/// [`StreamingCsvWriter`] sink, retaining no records. Provenance comes from
+/// the executor's [`CampaignTotals`] instead of retained results.
+fn timed_streaming_pass(
+    spec: &SweepSpec,
+    options: &ExecutorOptions,
+    csv_path: &Path,
+) -> (CampaignTotals, Pass) {
+    let start = Instant::now();
+    let csv = StreamingCsvWriter::create(csv_path).expect("create streaming CSV");
+    let totals = CampaignSession::new(spec, options).run_streaming(&Unobserved, &csv);
+    csv.finish().expect("flush streaming CSV");
+    let seconds = start.elapsed().as_secs_f64();
+    let pass = Pass {
+        seconds: round(seconds, 3),
+        points_per_sec: round(totals.points as f64 / seconds.max(1e-9), 1),
+        cache_hit_rate: totals.hit_rate,
+        computed: totals.computed,
+        cached: totals.cached,
+    };
+    (totals, pass)
+}
+
+/// Measures a slice through the streaming path — the configuration a
+/// 10k-point campaign is expected to run in: records dropped as soon as
+/// they are folded into the CSV, memory bounded by the reorder buffer.
+fn measure_streaming(name: &str, campaign: &str, params: &CampaignParams) -> Slice {
+    let spec = registry_spec(campaign, params);
+    let scratch =
+        std::env::temp_dir().join(format!("ltrf-bench-sweep-{name}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&scratch);
+    std::fs::create_dir_all(&scratch).expect("create bench scratch directory");
+    let options = ExecutorOptions {
+        cache_dir: Some(scratch.join("cache")),
+        ..ExecutorOptions::default()
+    };
+
+    let (cold_totals, cold) = timed_streaming_pass(&spec, &options, &scratch.join("cold.csv"));
+    let (warm_totals, warm) = timed_streaming_pass(&spec, &options, &scratch.join("warm.csv"));
+    if warm.cached != warm_totals.points {
+        eprintln!(
+            "warning: slice `{name}` warm pass hit only {}/{} points — the engine or \
+             cache identity is nondeterministic",
+            warm.cached, warm_totals.points
+        );
+    }
+    let _ = std::fs::remove_dir_all(&scratch);
+
+    println!(
+        "{name}: {} points (streaming), cold {:.3}s ({:.1} points/s), warm {:.3}s \
+         ({:.1}% hit rate)",
+        cold_totals.points,
+        cold.seconds,
+        cold.points_per_sec,
+        warm.seconds,
+        ltrf_sweep::hit_percent_1dp(warm.cached, warm_totals.points),
+    );
+    Slice {
+        name: name.to_string(),
+        campaign: campaign.to_string(),
+        points: cold_totals.points,
+        failures: cold_totals.failed,
         cold,
         warm,
     }
@@ -166,6 +240,20 @@ fn measure_all() -> Vec<Slice> {
             "trace-campaign",
             &CampaignParams {
                 trace_paths: example_traces(),
+                ..CampaignParams::default()
+            },
+        ),
+        measure_streaming(
+            "gen-10k-streaming",
+            "gen-campaign",
+            &CampaignParams {
+                population: Some(5_000),
+                min_regs: Some(8),
+                max_regs: Some(16),
+                max_outer_trips: Some(1),
+                max_inner_trips: Some(2),
+                max_body_alu: Some(2),
+                max_body_loads: Some(1),
                 ..CampaignParams::default()
             },
         ),

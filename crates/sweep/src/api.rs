@@ -74,8 +74,9 @@ use crate::campaigns::{
     self, GenCampaignParams, TraceCampaignParams, FIG11_ORGS, FIG9_ORGS, GEN_CAMPAIGN_ORGS,
     POWER_ORGS,
 };
-use crate::executor::{PointMeans, PointRecord, SweepResults};
+use crate::executor::{PointRecord, SweepResults};
 use crate::spec::{SeedMode, SweepSpec};
+use crate::stream::RunningAggregates;
 use crate::CAMPAIGN_SEED;
 
 // ---------------------------------------------------------------------------
@@ -691,13 +692,33 @@ impl ArtifactKind {
 }
 
 /// Context handed to a campaign's preamble and summary renderer: the
-/// invocation's parameters and the report directory.
+/// invocation's parameters, the report directory, and (after execution)
+/// the streaming aggregates.
 #[derive(Debug, Clone, Copy)]
 pub struct RenderContext<'a> {
     /// The parameters the campaign was invoked with.
     pub params: &'a CampaignParams,
     /// The directory the CSV/JSON reports were (or will be) written to.
     pub out_dir: &'a Path,
+    /// The per-campaign running aggregates folded while the points
+    /// streamed, parallel to the renderer's `results` slice. Empty before
+    /// execution (preambles) and for front-ends that have not adopted
+    /// streaming; renderers fall back to
+    /// [`RunningAggregates::from_results`] then.
+    pub aggregates: &'a [RunningAggregates],
+}
+
+impl RenderContext<'_> {
+    /// The aggregates for the `index`-th campaign of the invocation,
+    /// folding them from the retained records when the front-end did not
+    /// stream them.
+    #[must_use]
+    pub fn aggregates_for(&self, index: usize, results: &SweepResults) -> RunningAggregates {
+        self.aggregates
+            .get(index)
+            .cloned()
+            .unwrap_or_else(|| RunningAggregates::from_results(results))
+    }
 }
 
 /// One registered campaign: everything a front-end needs to list it,
@@ -1038,10 +1059,10 @@ fn render_repro(results: &[SweepResults], ctx: &RenderContext) -> Result<(), Str
     let points: usize = results.iter().map(SweepResults::len).sum();
     let cached: usize = results.iter().map(SweepResults::cached_count).sum();
     let failed: usize = results.iter().map(SweepResults::failure_count).sum();
-    let rate = crate::floored_hit_percent(cached, points);
+    let rate = crate::hit_percent_1dp(cached, points);
     println!(
         "\nrepro total: {points} points across {} campaigns, {cached} from cache \
-         ({rate}% hit rate), {failed} failed",
+         ({rate:.1}% hit rate), {failed} failed",
         results.len()
     );
     let artifacts: Vec<String> = results.iter().map(|r| format!("{}.csv", r.name)).collect();
@@ -1064,11 +1085,10 @@ fn render_gpu_scale(results: &[SweepResults], ctx: &RenderContext) -> Result<(),
         "  {:<5} {:<6} {:>9} {:>9} {:>8} {:>9} {:>12}",
         "SMs", "org", "IPC", "IPC/SM", "norm", "L2 hit", "DRAM row-hit"
     );
-    for (sm_count, org, means) in PointMeans::grouped(
-        &results[0],
-        &sm_counts,
-        &[Organization::Baseline, Organization::Ltrf],
-    ) {
+    let aggregates = ctx.aggregates_for(0, &results[0]);
+    for (sm_count, org, means) in
+        aggregates.means(&sm_counts, &[Organization::Baseline, Organization::Ltrf])
+    {
         println!(
             "  {:<5} {:<6} {:>9.3} {:>9.3} {:>8.3} {:>8.1}% {:>11.1}%",
             sm_count,
@@ -1103,14 +1123,14 @@ fn gen_campaign_preamble(_specs: &[SweepSpec], ctx: &RenderContext) -> String {
 }
 
 fn render_gen_campaign(results: &[SweepResults], ctx: &RenderContext) -> Result<(), String> {
-    let results = &results[0];
+    let aggregates = ctx.aggregates_for(0, &results[0]);
     let sm_count = ctx.params.single_sm_count();
     println!("\nPopulation means (IPC normalized to baseline on the same member):");
     println!(
         "  {:<6} {:>7} {:>9} {:>8} {:>9} {:>12}",
         "org", "points", "IPC", "norm", "L2 hit", "DRAM row-hit"
     );
-    for (_, org, means) in PointMeans::grouped(results, &[sm_count], &GEN_CAMPAIGN_ORGS) {
+    for (_, org, means) in aggregates.means(&[sm_count], &GEN_CAMPAIGN_ORGS) {
         println!(
             "  {:<6} {:>7} {:>9.3} {:>8.3} {:>8.1}% {:>11.1}%",
             org.label(),
@@ -1122,24 +1142,14 @@ fn render_gen_campaign(results: &[SweepResults], ctx: &RenderContext) -> Result<
         );
     }
     // Where LTRF wins and loses across the population (the tails are what a
-    // fixed 14-benchmark suite cannot show).
-    let mut ltrf_norms: Vec<(u32, f64)> = results
-        .successes()
-        .filter(|(r, _)| r.point.config.organization == Organization::Ltrf)
-        .filter_map(|(r, d)| {
-            let g = r.point.generated?;
-            Some((g.index, d.normalized_ipc?))
-        })
-        .collect();
-    if !ltrf_norms.is_empty() {
-        ltrf_norms.sort_by(|a, b| a.1.total_cmp(&b.1));
-        let (worst_index, worst) = ltrf_norms[0];
-        let (best_index, best) = *ltrf_norms.last().expect("non-empty");
-        let wins = ltrf_norms.iter().filter(|(_, n)| *n > 1.0).count();
+    // fixed 14-benchmark suite cannot show). The tail is folded online —
+    // the renderer never needs the member rows.
+    let tail = aggregates.ltrf_member_tail();
+    if let (Some((best_index, best)), Some((worst_index, worst))) = (tail.best, tail.worst) {
         println!(
-            "  LTRF speeds up {wins}/{} members; member #{best_index} best ({best:.3}x), \
+            "  LTRF speeds up {}/{} members; member #{best_index} best ({best:.3}x), \
              member #{worst_index} worst ({worst:.3}x)",
-            ltrf_norms.len()
+            tail.wins, tail.count
         );
     }
     Ok(())
@@ -1166,14 +1176,14 @@ fn trace_campaign_preamble(_specs: &[SweepSpec], ctx: &RenderContext) -> String 
 }
 
 fn render_trace_campaign(results: &[SweepResults], ctx: &RenderContext) -> Result<(), String> {
-    let results = &results[0];
+    let aggregates = ctx.aggregates_for(0, &results[0]);
     let sm_count = ctx.params.single_sm_count();
     println!("\nTrace means (IPC normalized to baseline on the same trace):");
     println!(
         "  {:<6} {:>7} {:>9} {:>8} {:>9} {:>12}",
         "org", "points", "IPC", "norm", "L2 hit", "DRAM row-hit"
     );
-    for (_, org, means) in PointMeans::grouped(results, &[sm_count], &GEN_CAMPAIGN_ORGS) {
+    for (_, org, means) in aggregates.means(&[sm_count], &GEN_CAMPAIGN_ORGS) {
         println!(
             "  {:<6} {:>7} {:>9.3} {:>8.3} {:>8.1}% {:>11.1}%",
             org.label(),
@@ -1185,11 +1195,12 @@ fn render_trace_campaign(results: &[SweepResults], ctx: &RenderContext) -> Resul
         );
     }
     // Per-trace LTRF outcomes: the whole point of ingesting real traces is
-    // seeing which ones LTRF helps.
-    let mut per_trace: Vec<(&str, f64)> = results
-        .successes()
-        .filter(|(r, _)| r.point.config.organization == Organization::Ltrf)
-        .filter_map(|(r, d)| Some((r.point.workload.as_str(), d.normalized_ipc?)))
+    // seeing which ones LTRF helps. (One entry per trace — sorting this
+    // small list at render time keeps the fold itself bounded.)
+    let mut per_trace: Vec<(&str, f64)> = aggregates
+        .ltrf_trace_norms()
+        .iter()
+        .map(|(workload, norm)| (workload.as_str(), *norm))
         .collect();
     per_trace.sort_by(|a, b| b.1.total_cmp(&a.1));
     for (workload, norm) in per_trace {

@@ -18,10 +18,20 @@
 //!   --cache DIR         result-cache directory      (default: .sweep-cache)
 //!   --no-cache          disable the result cache
 //!   --force             recompute even when cached
+//!   --resume            restore points completed by a previous (killed)
+//!                       run of the same campaign from its checkpoint
+//!                       journal instead of re-evaluating them
 //!   --threads N         worker threads              (default: all cores)
 //!   --progress MODE     human (default) or json — line-delimited
 //!                       campaign events for CI (see REPRODUCING.md)
 //! ```
+//!
+//! Execution streams: every completed point's CSV row is written to
+//! `<out>/<campaign>.csv` as it completes (bounded memory, byte-identical
+//! to the batch renderer) and folded into the running aggregates the
+//! summary tables read, while a checkpoint journal
+//! (`<out>/<campaign>.journal`, deleted on success) records completed
+//! points so `--resume` can pick up where a killed run stopped.
 //!
 //! Campaign parameters (`--quick`, `--sm-count`, the generator bounds, the
 //! power-calibration knobs, …) are declared per campaign in the registry;
@@ -36,8 +46,9 @@ use std::time::Instant;
 
 use ltrf_sweep::api::{self, registry, Campaign, CampaignParams, RenderContext};
 use ltrf_sweep::{
-    report, CampaignEvent, CampaignSession, ExecutorOptions, SweepResults, SweepSpec,
-    CACHE_SCHEMA_VERSION, ENGINE_FINGERPRINT,
+    report, AggregateSink, CampaignEvent, CampaignSession, ExecutorOptions, FanoutSink, RecordSink,
+    RunningAggregates, StreamingCsvWriter, SweepResults, SweepSpec, CACHE_SCHEMA_VERSION,
+    ENGINE_FINGERPRINT,
 };
 
 /// How execution progress reaches stdout.
@@ -57,6 +68,7 @@ struct RuntimeOptions {
     out_dir: PathBuf,
     cache_dir: Option<PathBuf>,
     force: bool,
+    resume: bool,
     threads: Option<usize>,
     progress: ProgressMode,
 }
@@ -67,6 +79,7 @@ impl Default for RuntimeOptions {
             out_dir: PathBuf::from("sweep-out"),
             cache_dir: Some(PathBuf::from(".sweep-cache")),
             force: false,
+            resume: false,
             threads: None,
             progress: ProgressMode::Human,
         }
@@ -78,7 +91,7 @@ fn usage() -> String {
     let commands: Vec<&str> = registry().campaigns().iter().map(|c| c.name).collect();
     format!(
         "usage: sweep <{}|list|describe|version> [--out DIR] [--cache DIR] [--no-cache] \
-         [--force] [--threads N] [--progress human|json] [campaign options]\n\
+         [--force] [--resume] [--threads N] [--progress human|json] [campaign options]\n\
          `sweep list` prints the campaign index; `sweep describe <campaign>` its options",
         commands.join("|")
     )
@@ -112,6 +125,7 @@ fn parse_invocation(
         match arg.as_str() {
             "--no-cache" => runtime.cache_dir = None,
             "--force" => runtime.force = true,
+            "--resume" => runtime.resume = true,
             "--out" => {
                 runtime.out_dir = iter
                     .next()
@@ -240,25 +254,35 @@ fn run_describe(args: &[String]) -> Result<(), String> {
 fn run_campaign(campaign: &Campaign, args: &[String]) -> Result<(), String> {
     let (runtime, params) = parse_invocation(campaign, args)?;
     let specs = campaign.specs(&params)?;
-    let ctx = RenderContext {
-        params: &params,
-        out_dir: &runtime.out_dir,
-    };
     let human = runtime.progress == ProgressMode::Human;
     if human {
-        let preamble = (campaign.preamble)(&specs, &ctx);
+        // Before execution there are no aggregates yet.
+        let preamble_ctx = RenderContext {
+            params: &params,
+            out_dir: &runtime.out_dir,
+            aggregates: &[],
+        };
+        let preamble = (campaign.preamble)(&specs, &preamble_ctx);
         if !preamble.is_empty() {
             println!("{preamble}");
         }
     }
     let mut all = Vec::with_capacity(specs.len());
+    let mut aggregates = Vec::with_capacity(specs.len());
     for spec in &specs {
         if human && specs.len() > 1 {
             println!();
         }
-        all.push(execute(spec, &runtime)?);
+        let (results, agg) = execute(spec, &runtime)?;
+        all.push(results);
+        aggregates.push(agg);
     }
     if human {
+        let ctx = RenderContext {
+            params: &params,
+            out_dir: &runtime.out_dir,
+            aggregates: &aggregates,
+        };
         (campaign.render)(&all, &ctx)?;
     }
     if campaign.fail_on_point_failure {
@@ -270,57 +294,94 @@ fn run_campaign(campaign: &Campaign, args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-/// Runs one campaign spec with progress on the event stream, writes the
-/// JSON/CSV reports, prints the summary (human mode), and hands the results
-/// back for the campaign's summary renderer.
-fn execute(spec: &SweepSpec, runtime: &RuntimeOptions) -> Result<SweepResults, String> {
-    let executor = ExecutorOptions {
-        threads: runtime.threads,
-        cache_dir: runtime.cache_dir.clone(),
-        force_recompute: runtime.force,
-    };
-    let threads = runtime.threads.unwrap_or_else(ltrf_sweep::default_threads);
-    let session = CampaignSession::new(spec, &executor);
-    let started = Instant::now();
-    let results = match runtime.progress {
-        ProgressMode::Human => session.run(&|event: &CampaignEvent| match event {
-            CampaignEvent::CampaignStarted { campaign, points } => {
-                println!("campaign `{campaign}`: {points} points across {threads} threads");
-            }
-            CampaignEvent::PointFailed {
-                workload,
-                organization,
-                config_id,
-                error,
-                ..
-            } => {
-                eprintln!("  FAILED {workload} / {organization} config {config_id}: {error}");
-            }
-            _ => {}
-        }),
-        ProgressMode::Json => {
-            session.run(&|event: &CampaignEvent| println!("{}", event.to_json_line()))
-        }
-    };
-    let elapsed = started.elapsed();
-
+/// Runs one campaign spec with progress on the event stream, streaming the
+/// CSV report row by row (and the summary aggregates) as points complete,
+/// writes the JSON report, prints the summary (human mode), and hands the
+/// results plus aggregates back for the campaign's summary renderer.
+///
+/// The checkpoint journal lives at `<out>/<name>.journal` while the
+/// campaign runs and is deleted once it completes; a journal left behind by
+/// a killed run is what `--resume` picks up.
+fn execute(
+    spec: &SweepSpec,
+    runtime: &RuntimeOptions,
+) -> Result<(SweepResults, RunningAggregates), String> {
+    // The out dir must exist before the run: the streaming CSV and the
+    // checkpoint journal are written while points execute.
     std::fs::create_dir_all(&runtime.out_dir)
         .map_err(|e| format!("cannot create {}: {e}", runtime.out_dir.display()))?;
     let json_path = runtime.out_dir.join(format!("{}.json", spec.name));
     let csv_path = runtime.out_dir.join(format!("{}.csv", spec.name));
+    let journal_path = runtime.out_dir.join(format!("{}.journal", spec.name));
+    if runtime.resume && runtime.cache_dir.is_none() {
+        eprintln!(
+            "sweep: --resume without a cache cannot restore outcomes; \
+             previously completed points will be recomputed"
+        );
+    }
+
+    let executor = ExecutorOptions {
+        threads: runtime.threads,
+        cache_dir: runtime.cache_dir.clone(),
+        force_recompute: runtime.force,
+        journal_path: Some(journal_path.clone()),
+        resume: runtime.resume,
+    };
+    let threads = runtime.threads.unwrap_or_else(ltrf_sweep::default_threads);
+    let session = CampaignSession::new(spec, &executor);
+
+    let csv = StreamingCsvWriter::create(&csv_path)
+        .map_err(|e| format!("creating {}: {e}", csv_path.display()))?;
+    let agg = AggregateSink::new();
+    let sinks: [&dyn RecordSink; 2] = [&csv, &agg];
+    let fanout = FanoutSink(&sinks);
+
+    let started = Instant::now();
+    let (results, totals) = match runtime.progress {
+        ProgressMode::Human => session.run_with_sink(
+            &|event: &CampaignEvent| match event {
+                CampaignEvent::CampaignStarted { campaign, points } => {
+                    println!("campaign `{campaign}`: {points} points across {threads} threads");
+                }
+                CampaignEvent::PointFailed {
+                    workload,
+                    organization,
+                    config_id,
+                    error,
+                    ..
+                } => {
+                    eprintln!("  FAILED {workload} / {organization} config {config_id}: {error}");
+                }
+                _ => {}
+            },
+            &fanout,
+        ),
+        ProgressMode::Json => session.run_with_sink(
+            &|event: &CampaignEvent| println!("{}", event.to_json_line()),
+            &fanout,
+        ),
+    };
+    let elapsed = started.elapsed();
+
+    csv.finish()
+        .map_err(|e| format!("writing {}: {e}", csv_path.display()))?;
+    let aggregates = agg.finish();
     report::write_json(&results, &json_path)
         .map_err(|e| format!("writing {}: {e}", json_path.display()))?;
-    report::write_csv(&results, &csv_path)
-        .map_err(|e| format!("writing {}: {e}", csv_path.display()))?;
+    // The campaign completed: its checkpoint has served its purpose.
+    let _ = std::fs::remove_file(&journal_path);
 
     if runtime.progress == ProgressMode::Human {
-        let rate = ltrf_sweep::floored_hit_percent(results.cached_count(), results.len());
+        let rate = ltrf_sweep::hit_percent_1dp(results.cached_count(), results.len());
+        let restored = if totals.restored > 0 {
+            format!("{} restored, ", totals.restored)
+        } else {
+            String::new()
+        };
         println!(
-            "  {} computed, {} from cache ({rate}% hit rate), {} failed, {:.2?} wall clock",
-            results.computed_count(),
-            results.cached_count(),
-            results.failure_count(),
-            elapsed
+            "  {} computed, {restored}{} from cache ({rate:.1}% hit rate), {} failed, \
+             {:.2?} wall clock",
+            totals.computed, totals.cached, totals.failed, elapsed
         );
         println!(
             "  reports: {} and {}",
@@ -328,7 +389,7 @@ fn execute(spec: &SweepSpec, runtime: &RuntimeOptions) -> Result<SweepResults, S
             csv_path.display()
         );
     }
-    Ok(results)
+    Ok((results, aggregates))
 }
 
 #[cfg(test)]
@@ -404,6 +465,18 @@ mod tests {
 
         let message = parse_invocation(fig9, &strings(&["--frobnicate"])).unwrap_err();
         assert!(message.contains("unknown option"), "{message}");
+    }
+
+    #[test]
+    fn resume_flag_parses_for_every_campaign() {
+        for campaign in registry().campaigns() {
+            let (runtime, _) = parse_invocation(campaign, &strings(&["--resume"]))
+                .unwrap_or_else(|e| panic!("`sweep {} --resume` broke: {e}", campaign.name));
+            assert!(runtime.resume);
+        }
+        let fig9 = registry().find("fig9").unwrap();
+        let (runtime, _) = parse_invocation(fig9, &strings(&[])).unwrap();
+        assert!(!runtime.resume, "resume must be opt-in");
     }
 
     #[test]

@@ -8,20 +8,29 @@
 //! material alongside the outcome, so entries are self-describing and a
 //! digest can be re-verified with standard tools.
 //!
-//! Stores are atomic (write to a unique temp file, then rename), so
-//! concurrent workers — or concurrent sweep processes — never observe torn
-//! entries. Loads are tolerant: anything unreadable or unparsable is treated
-//! as a miss and recomputed.
+//! Entries live in packed append-only segment files under
+//! `<cache>/segments/` (see [`crate::packed`]) — a handful of files instead
+//! of one per point, which is what keeps 10k+-point campaigns from
+//! exhausting inodes. Caches written by older releases used one
+//! `<digest>.json` file per point; [`ResultCache::load`] still falls back to
+//! those, so existing cache populations keep hitting. New stores always go
+//! to the packed store.
+//!
+//! Stores are crash-ordered (payload flushed before the index line that
+//! makes it reachable), so concurrent workers — or concurrent sweep
+//! processes — never observe torn entries. Loads are tolerant: anything
+//! unreadable or unparsable is treated as a miss and recomputed.
 
+use std::collections::HashSet;
 use std::fs;
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicU64, Ordering};
 
 use serde::{Deserialize, Serialize, Value};
 
 use ltrf_core::ExperimentConfig;
 
 use crate::hash::{digest_to_seed, sha256, to_hex};
+use crate::packed::PackedStore;
 use crate::spec::{SeedMode, SweepPoint, SweepSpec};
 
 /// Bump when the result encoding changes; old entries then simply miss.
@@ -113,7 +122,7 @@ pub fn point_key(spec: &SweepSpec, point: &SweepPoint) -> PointKey {
 #[derive(Debug)]
 pub struct ResultCache {
     dir: PathBuf,
-    temp_counter: AtomicU64,
+    packed: PackedStore,
 }
 
 /// What a cache entry holds on disk. The outcome stays an untyped [`Value`]
@@ -135,9 +144,9 @@ impl ResultCache {
     pub fn open(dir: impl Into<PathBuf>) -> std::io::Result<Self> {
         let dir = dir.into();
         fs::create_dir_all(&dir)?;
-        // Sweep temp files orphaned by interrupted stores (crash between
-        // write and rename); live writers always rename promptly, and a
-        // racing delete of a not-yet-renamed temp only costs a recompute.
+        // Sweep temp files orphaned by interrupted stores of older releases
+        // (which wrote per-point files via temp + rename); packed stores
+        // leave no temp files behind.
         if let Ok(entries) = fs::read_dir(&dir) {
             for entry in entries.filter_map(Result::ok) {
                 let name = entry.file_name();
@@ -146,10 +155,8 @@ impl ResultCache {
                 }
             }
         }
-        Ok(ResultCache {
-            dir,
-            temp_counter: AtomicU64::new(0),
-        })
+        let packed = PackedStore::open(dir.join("segments"))?;
+        Ok(ResultCache { dir, packed })
     }
 
     /// The cache's root directory.
@@ -164,11 +171,16 @@ impl ResultCache {
 
     /// Loads the outcome stored under `key`, verifying the key material.
     ///
-    /// Any failure — missing file, torn write, schema drift, digest
-    /// collision on a stale file — is a miss.
+    /// The packed segments are consulted first, then the legacy per-point
+    /// `<digest>.json` file, so caches written by older releases keep
+    /// hitting. Any failure — missing entry, torn write, schema drift,
+    /// digest collision on a stale file — is a miss.
     #[must_use]
     pub fn load<T: Deserialize>(&self, key: &PointKey) -> Option<T> {
-        let text = fs::read_to_string(self.entry_path(&key.digest_hex)).ok()?;
+        let text = self
+            .packed
+            .load(&key.digest_hex)
+            .or_else(|| fs::read_to_string(self.entry_path(&key.digest_hex)).ok())?;
         let entry: CacheEntry = serde::from_json_str(&text).ok()?;
         if entry.key_material != key.material {
             return None;
@@ -176,7 +188,11 @@ impl ResultCache {
         T::from_value(&entry.outcome).ok()
     }
 
-    /// Stores `outcome` under `key` atomically.
+    /// Stores `outcome` under `key` in the packed segment store.
+    ///
+    /// Durability discipline: the payload is framed and flushed before the
+    /// index line that makes it reachable is appended, so a kill mid-store
+    /// degrades to a miss, never a torn entry.
     ///
     /// # Errors
     ///
@@ -187,26 +203,27 @@ impl ResultCache {
             key_material: key.material.clone(),
             outcome: outcome.to_value(),
         };
-        let temp = self.dir.join(format!(
-            ".tmp-{}-{}-{}",
-            std::process::id(),
-            self.temp_counter.fetch_add(1, Ordering::Relaxed),
-            key.digest_hex
-        ));
-        fs::write(&temp, serde::to_json_string(&entry))?;
-        fs::rename(&temp, self.entry_path(&key.digest_hex))
+        self.packed
+            .store(&key.digest_hex, &serde::to_json_string(&entry))
     }
 
-    /// Number of entries currently stored.
+    /// Number of entries currently stored: packed entries plus legacy
+    /// per-point files, deduplicated by digest.
     ///
     /// # Errors
     ///
     /// Returns the underlying I/O error if the directory cannot be read.
     pub fn len(&self) -> std::io::Result<usize> {
-        Ok(fs::read_dir(&self.dir)?
-            .filter_map(Result::ok)
-            .filter(|e| e.path().extension().is_some_and(|ext| ext == "json"))
-            .count())
+        let mut digests: HashSet<String> = self.packed.digests().into_iter().collect();
+        for entry in fs::read_dir(&self.dir)?.filter_map(Result::ok) {
+            let path = entry.path();
+            if path.extension().is_some_and(|ext| ext == "json") {
+                if let Some(stem) = path.file_stem().and_then(|s| s.to_str()) {
+                    digests.insert(stem.to_string());
+                }
+            }
+        }
+        Ok(digests.len())
     }
 
     /// Whether the cache holds no entries.
@@ -361,13 +378,53 @@ mod tests {
         cache.store(&key, &1.25f64).unwrap();
         assert_eq!(cache.load::<f64>(&key), Some(1.25));
         assert_eq!(cache.len().unwrap(), 1);
-        // A corrupted entry is a miss, not an error.
+        // Entries survive a reopen (the packed index is rebuilt from disk).
+        let reopened = ResultCache::open(&dir).unwrap();
+        assert_eq!(reopened.load::<f64>(&key), Some(1.25));
+        // A corrupted segment is a miss, not an error.
+        for entry in fs::read_dir(dir.join("segments"))
+            .unwrap()
+            .filter_map(Result::ok)
+        {
+            if entry.path().extension().is_some_and(|ext| ext == "pack") {
+                fs::write(entry.path(), "garbage").unwrap();
+            }
+        }
+        let corrupted = ResultCache::open(&dir).unwrap();
+        assert!(corrupted.load::<f64>(&key).is_none());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn legacy_per_point_entries_still_hit() {
+        let dir = std::env::temp_dir().join(format!("ltrf-cache-legacy-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        let spec = test_spec();
+        let key = point_key(&spec, &spec.points[0]);
+        // Write an entry the way pre-packed releases did: one JSON file per
+        // point, named by digest.
+        let entry = CacheEntry {
+            key_material: key.material.clone(),
+            outcome: Serialize::to_value(&2.5f64),
+        };
         fs::write(
-            cache.dir().join(format!("{}.json", key.digest_hex)),
-            "{truncated",
+            dir.join(format!("{}.json", key.digest_hex)),
+            serde::to_json_string(&entry),
         )
         .unwrap();
-        assert!(cache.load::<f64>(&key).is_none());
+        let cache = ResultCache::open(&dir).unwrap();
+        assert_eq!(
+            cache.load::<f64>(&key),
+            Some(2.5),
+            "old per-point entries must keep hitting"
+        );
+        assert_eq!(cache.len().unwrap(), 1);
+        // A new store for the same digest goes to the packed store and
+        // shadows the legacy file; len() deduplicates the digest.
+        cache.store(&key, &3.5f64).unwrap();
+        assert_eq!(cache.load::<f64>(&key), Some(3.5));
+        assert_eq!(cache.len().unwrap(), 1);
         let _ = fs::remove_dir_all(&dir);
     }
 }

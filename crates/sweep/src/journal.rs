@@ -1,0 +1,276 @@
+//! The checkpoint journal behind resumable campaigns.
+//!
+//! While a session runs, every point that *completes* (evaluated or served
+//! from the cache) appends one line to a journal file: its content digest,
+//! the seed it ran with, and the cache provenance it completed with. A rerun
+//! of a killed campaign (`sweep <campaign> --resume`) loads the journal,
+//! and any point whose digest appears in it — and whose outcome is still in
+//! the result cache — is *restored* instead of re-evaluated, with its
+//! original provenance, so the resumed run's reports are byte-identical to
+//! an uninterrupted one.
+//!
+//! The file is line-delimited JSON: a header line naming the campaign, the
+//! cache schema version, and the engine fingerprint (a mismatched header
+//! invalidates the whole journal — stale checkpoints degrade to a full
+//! recompute, never to wrong results), then one entry line per completed
+//! point. Appends are flushed per line, and loading is tolerant the same
+//! way the cache is: a torn or garbled line (a kill mid-append) is skipped,
+//! never a panic, and costs at most that one point's recompute.
+
+use std::collections::HashMap;
+use std::fs::{File, OpenOptions};
+use std::io::{self, Write};
+use std::path::Path;
+use std::sync::Mutex;
+
+use serde::{Deserialize, Serialize};
+
+use crate::cache::{CACHE_SCHEMA_VERSION, ENGINE_FINGERPRINT};
+
+/// The journal's first line: which campaign and engine wrote it.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+struct JournalHeader {
+    campaign: String,
+    schema: u32,
+    engine: String,
+}
+
+impl JournalHeader {
+    fn current(campaign: &str) -> Self {
+        JournalHeader {
+            campaign: campaign.to_string(),
+            schema: CACHE_SCHEMA_VERSION,
+            engine: ENGINE_FINGERPRINT.to_string(),
+        }
+    }
+}
+
+/// One completed point, as journaled.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+struct JournalLine {
+    digest: String,
+    seed: u64,
+    from_cache: bool,
+}
+
+/// The provenance a completed point was journaled with.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CompletedPoint {
+    /// The seed the point ran with (recorded for external tools; the
+    /// executor re-derives it from the spec).
+    pub seed: u64,
+    /// Whether the point's outcome came from the cache when it first
+    /// completed — restored records carry this original provenance so a
+    /// resumed run's CSV matches an uninterrupted one byte for byte.
+    pub from_cache: bool,
+}
+
+/// The completed points recovered from a journal file.
+#[derive(Debug, Default)]
+pub struct JournalSnapshot {
+    entries: HashMap<String, CompletedPoint>,
+}
+
+impl JournalSnapshot {
+    /// Loads the journal at `path` for `campaign`.
+    ///
+    /// Returns `None` when the file is missing or its header does not match
+    /// the campaign, cache schema, and engine fingerprint — a stale journal
+    /// is ignored wholesale. Entry lines are parsed tolerantly: anything
+    /// unparsable (a partial last line from a kill mid-append, stray bytes)
+    /// is skipped.
+    #[must_use]
+    pub fn load(path: &Path, campaign: &str) -> Option<Self> {
+        let text = std::fs::read_to_string(path).ok()?;
+        let mut lines = text.lines();
+        let header: JournalHeader = serde::from_json_str(lines.next()?).ok()?;
+        if header != JournalHeader::current(campaign) {
+            return None;
+        }
+        let mut entries = HashMap::new();
+        for line in lines {
+            let Ok(entry) = serde::from_json_str::<JournalLine>(line) else {
+                continue;
+            };
+            entries.insert(
+                entry.digest,
+                CompletedPoint {
+                    seed: entry.seed,
+                    from_cache: entry.from_cache,
+                },
+            );
+        }
+        Some(JournalSnapshot { entries })
+    }
+
+    /// The journaled completion of the point with this digest, if any.
+    #[must_use]
+    pub fn get(&self, digest_hex: &str) -> Option<CompletedPoint> {
+        self.entries.get(digest_hex).copied()
+    }
+
+    /// Number of completed points recovered.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the journal recorded no completed points.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+/// The append side of a campaign's checkpoint journal.
+///
+/// Shared by the session's worker threads; each append is one `write` of a
+/// whole line under a lock, flushed immediately, so a kill tears at most
+/// the line being written (which [`JournalSnapshot::load`] skips).
+#[derive(Debug)]
+pub struct CampaignJournal {
+    file: Mutex<File>,
+}
+
+impl CampaignJournal {
+    /// Starts a fresh journal at `path`, truncating any previous one, and
+    /// writes the header line.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying I/O error if the file cannot be created or
+    /// the header cannot be written.
+    pub fn create(path: &Path, campaign: &str) -> io::Result<Self> {
+        let mut file = File::create(path)?;
+        let header = serde::to_json_string(&JournalHeader::current(campaign));
+        file.write_all(format!("{header}\n").as_bytes())?;
+        file.flush()?;
+        Ok(CampaignJournal {
+            file: Mutex::new(file),
+        })
+    }
+
+    /// Resumes the journal at `path`: loads the completed points recorded
+    /// so far and reopens the file for appending. When the file is missing
+    /// or its header is stale (another campaign, schema, or engine), the
+    /// journal is recreated fresh and the snapshot is empty.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying I/O error if the file cannot be opened.
+    pub fn resume(path: &Path, campaign: &str) -> io::Result<(Self, JournalSnapshot)> {
+        match JournalSnapshot::load(path, campaign) {
+            Some(snapshot) => {
+                let file = OpenOptions::new().append(true).open(path)?;
+                Ok((
+                    CampaignJournal {
+                        file: Mutex::new(file),
+                    },
+                    snapshot,
+                ))
+            }
+            None => Ok((Self::create(path, campaign)?, JournalSnapshot::default())),
+        }
+    }
+
+    /// Appends one completed point.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying I/O error; callers may treat a failed append
+    /// as non-fatal (the point's result is still reported — only a future
+    /// resume loses it).
+    pub fn record(&self, digest_hex: &str, seed: u64, from_cache: bool) -> io::Result<()> {
+        let line = serde::to_json_string(&JournalLine {
+            digest: digest_hex.to_string(),
+            seed,
+            from_cache,
+        });
+        let mut file = self.file.lock().expect("journal file poisoned");
+        file.write_all(format!("{line}\n").as_bytes())?;
+        file.flush()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_path(tag: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("ltrf-journal-{tag}-{}", std::process::id()))
+    }
+
+    #[test]
+    fn round_trips_entries_and_preserves_provenance() {
+        let path = temp_path("round-trip");
+        let journal = CampaignJournal::create(&path, "camp").unwrap();
+        journal.record("aa", 7, false).unwrap();
+        journal.record("bb", 8, true).unwrap();
+        let snapshot = JournalSnapshot::load(&path, "camp").expect("valid journal");
+        assert_eq!(snapshot.len(), 2);
+        assert_eq!(
+            snapshot.get("aa"),
+            Some(CompletedPoint {
+                seed: 7,
+                from_cache: false
+            })
+        );
+        assert_eq!(
+            snapshot.get("bb"),
+            Some(CompletedPoint {
+                seed: 8,
+                from_cache: true
+            })
+        );
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn stale_headers_invalidate_the_whole_journal() {
+        let path = temp_path("stale");
+        let journal = CampaignJournal::create(&path, "camp-a").unwrap();
+        journal.record("aa", 1, false).unwrap();
+        assert!(
+            JournalSnapshot::load(&path, "camp-b").is_none(),
+            "another campaign's journal must be ignored"
+        );
+        // Resuming under the other name recreates the journal fresh.
+        let (journal, snapshot) = CampaignJournal::resume(&path, "camp-b").unwrap();
+        assert!(snapshot.is_empty());
+        journal.record("cc", 2, true).unwrap();
+        let reloaded = JournalSnapshot::load(&path, "camp-b").expect("recreated");
+        assert_eq!(reloaded.len(), 1);
+        assert!(reloaded.get("aa").is_none(), "old entries are gone");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn resume_appends_without_duplicating() {
+        let path = temp_path("append");
+        let journal = CampaignJournal::create(&path, "camp").unwrap();
+        journal.record("aa", 1, false).unwrap();
+        drop(journal);
+        let (journal, snapshot) = CampaignJournal::resume(&path, "camp").unwrap();
+        assert_eq!(snapshot.len(), 1);
+        journal.record("bb", 2, false).unwrap();
+        let reloaded = JournalSnapshot::load(&path, "camp").expect("valid");
+        assert_eq!(reloaded.len(), 2);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn torn_lines_are_skipped_not_fatal() {
+        let path = temp_path("torn");
+        let journal = CampaignJournal::create(&path, "camp").unwrap();
+        journal.record("aa", 1, false).unwrap();
+        drop(journal);
+        // Simulate a kill mid-append: a partial JSON line with no newline.
+        let mut text = std::fs::read_to_string(&path).unwrap();
+        text.push_str("{\"digest\":\"bb\",\"se");
+        std::fs::write(&path, text).unwrap();
+        let snapshot = JournalSnapshot::load(&path, "camp").expect("valid header");
+        assert_eq!(snapshot.len(), 1, "the torn line is skipped");
+        assert!(snapshot.get("aa").is_some());
+        let _ = std::fs::remove_file(&path);
+    }
+}

@@ -19,7 +19,12 @@
 //!   provenance, failures, and the campaign summary — to any
 //!   [`CampaignObserver`] (the CLI's progress printing and its
 //!   `--progress json` mode are observers); [`run_sweep`] is the thin
-//!   batch wrapper for callers that only want the final results;
+//!   batch wrapper for callers that only want the final results, while
+//!   [`CampaignSession::run_streaming`] pushes completed records into
+//!   [`RecordSink`]s (streaming CSV, running aggregates — see [`stream`])
+//!   without retaining them, and a checkpoint [`journal`] plus
+//!   `--resume` makes killed campaigns restartable from where they
+//!   stopped;
 //! * [`ResultCache`] content-addresses outcomes (SHA-256 of the canonical
 //!   point encoding, which includes `sm_count`) so re-running a figure only
 //!   recomputes changed points;
@@ -77,9 +82,12 @@ pub mod cache;
 pub mod campaigns;
 pub mod executor;
 pub mod hash;
+pub mod journal;
+pub mod packed;
 pub mod pool;
 pub mod report;
 pub mod spec;
+pub mod stream;
 
 /// The fixed campaign seed shared by every driver of the engine (the
 /// per-figure harness in `ltrf-bench` and the `sweep` CLI), so their cached
@@ -92,20 +100,26 @@ pub use cache::{point_key, PointKey, ResultCache, CACHE_SCHEMA_VERSION, ENGINE_F
 pub use campaigns::{GenCampaignParams, TraceCampaignParams};
 pub use executor::{
     event_channel, parallel_points, relative_ipc_series, run_sweep, CampaignEvent,
-    CampaignObserver, CampaignSession, EventLog, EventSender, ExecutorOptions, PointData,
-    PointMeans, PointOutcome, PointRecord, SweepResults, Unobserved,
+    CampaignObserver, CampaignSession, CampaignTotals, EventLog, EventSender, ExecutorOptions,
+    FanoutSink, PointData, PointMeans, PointMeansAcc, PointOutcome, PointRecord, RecordSink,
+    SweepResults, Unobserved,
 };
+pub use journal::{CampaignJournal, CompletedPoint, JournalSnapshot};
 pub use ltrf_trace::{LoweringBounds, TraceWorkloadId};
+pub use packed::PackedStore;
 pub use pool::{default_threads, parallel_map};
 pub use spec::{
     GeneratedWorkload, MemorySelection, SeedMode, SweepPoint, SweepSpec, SweepSpecBuilder,
 };
+pub use stream::{AggregateSink, MemberTail, RunningAggregates, StreamingCsvWriter};
 
-/// Cache-hit percentage as an integer floor: "100" only when literally
-/// every point was a hit — the CI smoke jobs grep for it, and `{:.0}`
-/// rounding would report 100% at 293/294. Shared by the CLI summaries and
-/// the `repro` renderer in [`api`].
+/// Cache-hit percentage floored to one decimal place: "100.0" only when
+/// literally every point was a hit — the CI smoke jobs grep for it, and
+/// `{:.1}` *rounding* would report 100.0% at 2999/3000. One decimal keeps a
+/// single lost point visible at warm-rerun scale (an integer floor printed
+/// a 99.9% rerun as "99", indistinguishable from a real regression).
+/// Shared by the CLI summaries and the `repro` renderer in [`api`].
 #[must_use]
-pub fn floored_hit_percent(cached: usize, total: usize) -> usize {
-    (cached * 100).checked_div(total).unwrap_or(0)
+pub fn hit_percent_1dp(cached: usize, total: usize) -> f64 {
+    ((cached * 1000).checked_div(total).unwrap_or(0) as f64) / 10.0
 }

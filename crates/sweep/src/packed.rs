@@ -1,0 +1,327 @@
+//! Packed segment storage for the result cache.
+//!
+//! The original cache kept one `<digest>.json` file per point, which is
+//! friendly to inspection but hostile to 10k+-point campaigns: every store
+//! is a file creation, every warm run is one `open` per point, and a large
+//! population exhausts inodes long before it exhausts bytes. This module
+//! packs entries into a small number of append-only *segment* files with a
+//! sidecar index:
+//!
+//! ```text
+//! <cache>/segments/seg-<pid>-<n>.pack    framed entry payloads (append-only)
+//! <cache>/segments/seg-<pid>-<n>.idx     one JSON line per entry: digest → span
+//! ```
+//!
+//! Each entry in a `.pack` file is framed as `LTRF1 <digest> <len>\n`
+//! followed by `<len>` bytes of payload and a newline, so segments are
+//! self-describing and recoverable with standard tools. The `.idx` sidecar
+//! line for an entry is appended only *after* the payload is flushed, which
+//! makes stores crash-ordered without temp files or renames: a kill between
+//! the two writes leaves an unreferenced (but well-framed) span that simply
+//! misses; a kill mid-line leaves a torn `.idx` tail that the loader skips.
+//! Segment names embed the writing process's id plus a counter, so
+//! concurrent sweep processes never append to the same file.
+//!
+//! [`PackedStore::open`] builds an in-memory digest → span index from every
+//! `.idx` file; duplicate digests (two processes computing the same point)
+//! are harmless because entries are content-addressed — any copy is as good
+//! as any other. Segments roll at [`SEGMENT_ROLL_BYTES`] so no single file
+//! grows unboundedly.
+
+use std::collections::HashMap;
+use std::fs::{self, File, OpenOptions};
+use std::io::{self, Read, Seek, SeekFrom, Write};
+use std::path::PathBuf;
+use std::sync::Mutex;
+
+use serde::{Deserialize, Serialize};
+
+/// A segment rolls over once its payload bytes pass this threshold, bounding
+/// the cost of reading (or shipping) any single file.
+pub const SEGMENT_ROLL_BYTES: u64 = 4 * 1024 * 1024;
+
+/// Frame marker leading every packed entry.
+const FRAME_MAGIC: &str = "LTRF1";
+
+/// One `.idx` sidecar line: where a digest's payload lives.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+struct IndexLine {
+    digest: String,
+    segment: String,
+    offset: u64,
+    len: u64,
+}
+
+/// Where a payload lives, in memory.
+#[derive(Debug, Clone, PartialEq)]
+struct Span {
+    segment: String,
+    offset: u64,
+    len: u64,
+}
+
+/// The open segment this process is appending to.
+#[derive(Debug)]
+struct SegmentWriter {
+    name: String,
+    data: File,
+    idx: File,
+    written: u64,
+}
+
+/// An append-only packed store of digest-addressed payloads.
+#[derive(Debug)]
+pub struct PackedStore {
+    dir: PathBuf,
+    index: Mutex<HashMap<String, Span>>,
+    writer: Mutex<Option<SegmentWriter>>,
+}
+
+impl PackedStore {
+    /// Opens (creating if needed) the packed store under `dir` and builds
+    /// the digest index from every `.idx` sidecar. Torn or garbled index
+    /// lines are skipped — their entries are unreachable and miss.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying I/O error if the directory cannot be created
+    /// or listed.
+    pub fn open(dir: impl Into<PathBuf>) -> io::Result<Self> {
+        let dir = dir.into();
+        fs::create_dir_all(&dir)?;
+        let mut index = HashMap::new();
+        for entry in fs::read_dir(&dir)?.filter_map(Result::ok) {
+            let path = entry.path();
+            if path.extension().is_none_or(|ext| ext != "idx") {
+                continue;
+            }
+            let Ok(text) = fs::read_to_string(&path) else {
+                continue;
+            };
+            for line in text.lines() {
+                let Ok(parsed) = serde::from_json_str::<IndexLine>(line) else {
+                    continue;
+                };
+                index.insert(
+                    parsed.digest,
+                    Span {
+                        segment: parsed.segment,
+                        offset: parsed.offset,
+                        len: parsed.len,
+                    },
+                );
+            }
+        }
+        Ok(PackedStore {
+            dir,
+            index: Mutex::new(index),
+            writer: Mutex::new(None),
+        })
+    }
+
+    /// Loads the payload stored under `digest_hex`, if the index knows it.
+    ///
+    /// Any failure — missing segment, short read, non-UTF-8 bytes — is a
+    /// miss; the caller treats the payload like any other untrusted cache
+    /// text and re-verifies its key material.
+    #[must_use]
+    pub fn load(&self, digest_hex: &str) -> Option<String> {
+        let span = self
+            .index
+            .lock()
+            .expect("packed index poisoned")
+            .get(digest_hex)
+            .cloned()?;
+        let mut file = File::open(self.dir.join(&span.segment)).ok()?;
+        file.seek(SeekFrom::Start(span.offset)).ok()?;
+        let mut payload = vec![0u8; usize::try_from(span.len).ok()?];
+        file.read_exact(&mut payload).ok()?;
+        String::from_utf8(payload).ok()
+    }
+
+    /// Appends `payload` under `digest_hex`: frame + payload to the current
+    /// segment, flush, then the index line (crash-ordering: an entry is
+    /// reachable only once it is fully on disk).
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying I/O error.
+    pub fn store(&self, digest_hex: &str, payload: &str) -> io::Result<()> {
+        let mut writer = self.writer.lock().expect("packed writer poisoned");
+        let segment = match writer.as_mut() {
+            Some(segment) if segment.written < SEGMENT_ROLL_BYTES => segment,
+            _ => {
+                *writer = Some(self.roll_segment()?);
+                writer.as_mut().expect("segment just created")
+            }
+        };
+
+        let frame = format!("{FRAME_MAGIC} {digest_hex} {}\n", payload.len());
+        let offset = segment.written + frame.len() as u64;
+        segment.data.write_all(frame.as_bytes())?;
+        segment.data.write_all(payload.as_bytes())?;
+        segment.data.write_all(b"\n")?;
+        segment.data.flush()?;
+        segment.written = offset + payload.len() as u64 + 1;
+
+        let line = serde::to_json_string(&IndexLine {
+            digest: digest_hex.to_string(),
+            segment: segment.name.clone(),
+            offset,
+            len: payload.len() as u64,
+        });
+        segment.idx.write_all(format!("{line}\n").as_bytes())?;
+        segment.idx.flush()?;
+
+        self.index.lock().expect("packed index poisoned").insert(
+            digest_hex.to_string(),
+            Span {
+                segment: segment.name.clone(),
+                offset,
+                len: payload.len() as u64,
+            },
+        );
+        Ok(())
+    }
+
+    /// Opens a fresh uniquely-named segment for this process.
+    fn roll_segment(&self) -> io::Result<SegmentWriter> {
+        let pid = std::process::id();
+        for counter in 0u64.. {
+            let name = format!("seg-{pid}-{counter}.pack");
+            let data = match OpenOptions::new()
+                .append(true)
+                .create_new(true)
+                .open(self.dir.join(&name))
+            {
+                Ok(file) => file,
+                // A previous run of a recycled pid left this name behind;
+                // never append to a file another process may index.
+                Err(e) if e.kind() == io::ErrorKind::AlreadyExists => continue,
+                Err(e) => return Err(e),
+            };
+            let idx = OpenOptions::new()
+                .append(true)
+                .create(true)
+                .open(self.dir.join(format!("seg-{pid}-{counter}.idx")))?;
+            return Ok(SegmentWriter {
+                name,
+                data,
+                idx,
+                written: 0,
+            });
+        }
+        unreachable!("u64 segment counter space exhausted")
+    }
+
+    /// The digests currently reachable through the index.
+    #[must_use]
+    pub fn digests(&self) -> Vec<String> {
+        self.index
+            .lock()
+            .expect("packed index poisoned")
+            .keys()
+            .cloned()
+            .collect()
+    }
+
+    /// Number of reachable entries.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.index.lock().expect("packed index poisoned").len()
+    }
+
+    /// Whether the store holds no reachable entries.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_store(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("ltrf-packed-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn store_load_round_trip_and_reopen() {
+        let dir = temp_store("round-trip");
+        let store = PackedStore::open(&dir).unwrap();
+        assert!(store.load("aa").is_none());
+        store.store("aa", "{\"x\":1}").unwrap();
+        store.store("bb", "{\"y\":2}").unwrap();
+        assert_eq!(store.load("aa").as_deref(), Some("{\"x\":1}"));
+        assert_eq!(store.load("bb").as_deref(), Some("{\"y\":2}"));
+        assert_eq!(store.len(), 2);
+        // A fresh open rebuilds the index from the sidecars.
+        let reopened = PackedStore::open(&dir).unwrap();
+        assert_eq!(reopened.load("aa").as_deref(), Some("{\"x\":1}"));
+        assert_eq!(reopened.len(), 2);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn restores_overwrite_in_the_index() {
+        let dir = temp_store("overwrite");
+        let store = PackedStore::open(&dir).unwrap();
+        store.store("aa", "old").unwrap();
+        store.store("aa", "new").unwrap();
+        assert_eq!(store.load("aa").as_deref(), Some("new"));
+        assert_eq!(store.len(), 1);
+        let reopened = PackedStore::open(&dir).unwrap();
+        assert_eq!(
+            reopened.load("aa").as_deref(),
+            Some("new"),
+            "later index lines win on reopen"
+        );
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn torn_index_lines_are_skipped() {
+        let dir = temp_store("torn-idx");
+        let store = PackedStore::open(&dir).unwrap();
+        store.store("aa", "payload-a").unwrap();
+        drop(store);
+        // Simulate a kill mid-append on the sidecar: a dangling partial line.
+        let idx_path = fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(Result::ok)
+            .map(|e| e.path())
+            .find(|p| p.extension().is_some_and(|ext| ext == "idx"))
+            .expect("one idx sidecar");
+        let mut text = fs::read_to_string(&idx_path).unwrap();
+        text.push_str("{\"digest\":\"bb\",\"segm");
+        fs::write(&idx_path, text).unwrap();
+        let reopened = PackedStore::open(&dir).unwrap();
+        assert_eq!(reopened.load("aa").as_deref(), Some("payload-a"));
+        assert!(reopened.load("bb").is_none(), "the torn entry misses");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn segments_roll_and_remain_readable() {
+        let dir = temp_store("roll");
+        let store = PackedStore::open(&dir).unwrap();
+        // Payloads big enough that a few pass the roll threshold.
+        let payload = "x".repeat((SEGMENT_ROLL_BYTES / 2) as usize);
+        for i in 0..5 {
+            store.store(&format!("d{i}"), &payload).unwrap();
+        }
+        let packs = fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(Result::ok)
+            .filter(|e| e.path().extension().is_some_and(|ext| ext == "pack"))
+            .count();
+        assert!(packs > 1, "large stores roll across segments, got {packs}");
+        for i in 0..5 {
+            assert_eq!(store.load(&format!("d{i}")).as_deref(), Some(&payload[..]));
+        }
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

@@ -5,7 +5,7 @@ use std::fs;
 use std::io;
 use std::path::Path;
 
-use crate::executor::{PointOutcome, SweepResults};
+use crate::executor::{PointOutcome, PointRecord, SweepResults};
 use crate::spec::MemorySelection;
 
 /// Writes the full campaign as JSON.
@@ -76,6 +76,64 @@ fn memory_label(memory: MemorySelection) -> &'static str {
     }
 }
 
+/// The CSV header row (no trailing newline): [`CSV_COLUMNS`] joined.
+#[must_use]
+pub fn csv_header() -> String {
+    CSV_COLUMNS.join(",")
+}
+
+/// Renders one record as its CSV row (no trailing newline).
+///
+/// This is the single row renderer behind both [`to_csv`] (the batch path)
+/// and the streaming
+/// [`StreamingCsvWriter`](crate::stream::StreamingCsvWriter), so the two
+/// emit byte-identical rows by construction.
+#[must_use]
+pub fn csv_row(record: &PointRecord) -> String {
+    let point = &record.point;
+    let (status, error) = match &record.outcome {
+        PointOutcome::Ok(_) => ("ok", String::new()),
+        PointOutcome::Error(e) => ("error", e.clone()),
+        PointOutcome::Panicked(e) => ("panicked", e.clone()),
+    };
+    let data = record.outcome.data();
+    let float = |v: Option<f64>| v.map(|f| format!("{f:.6}")).unwrap_or_default();
+    let row = [
+        csv_escape(&point.workload),
+        point
+            .generated
+            .map(|g| g.population_seed.to_string())
+            .unwrap_or_default(),
+        point
+            .generated
+            .map(|g| g.index.to_string())
+            .unwrap_or_default(),
+        point.config.organization.label().to_string(),
+        point.config.mrf_config.id.0.to_string(),
+        format!("{:.3}", point.config.latency_factor()),
+        point.config.registers_per_interval.to_string(),
+        point.config.active_warps.to_string(),
+        point.config.sm_count.to_string(),
+        memory_label(point.memory).to_string(),
+        record.seed.to_string(),
+        status.to_string(),
+        float(data.map(|d| d.result.ipc)),
+        float(data.and_then(|d| d.normalized_ipc)),
+        float(data.and_then(|d| d.normalized_power)),
+        float(data.map(|d| d.result.power.average_power_mw)),
+        float(data.map(|d| d.result.power.total_pj())),
+        float(data.map(|d| d.result.power.leakage_pj)),
+        float(data.and_then(|d| d.result.cache_hit_rate)),
+        // The aggregate stats carry the shared structures' totals for
+        // multi-SM points and the private LLC/DRAM for single-SM ones.
+        float(data.map(|d| d.result.stats.memory.llc.hit_rate())),
+        float(data.map(|d| d.result.stats.memory.dram.row_hit_rate())),
+        record.from_cache.to_string(),
+        csv_escape(&error),
+    ];
+    row.join(",")
+}
+
 /// Renders the campaign as CSV text.
 ///
 /// Generated-population points fill the `gen_seed`/`gen_index` columns with
@@ -86,53 +144,16 @@ fn memory_label(memory: MemorySelection) -> &'static str {
 /// reconstructible from the CSV; `normalized_power` remains the paper's
 /// baseline-relative reporting convention. `REPRODUCING.md` documents every
 /// column.
+///
+/// Composed from [`csv_header`] and [`csv_row`]; campaigns too large to
+/// retain their rows stream the same bytes through a
+/// [`StreamingCsvWriter`](crate::stream::StreamingCsvWriter) instead.
 #[must_use]
 pub fn to_csv(results: &SweepResults) -> String {
-    let mut out = CSV_COLUMNS.join(",");
+    let mut out = csv_header();
     out.push('\n');
     for record in &results.records {
-        let point = &record.point;
-        let (status, error) = match &record.outcome {
-            PointOutcome::Ok(_) => ("ok", String::new()),
-            PointOutcome::Error(e) => ("error", e.clone()),
-            PointOutcome::Panicked(e) => ("panicked", e.clone()),
-        };
-        let data = record.outcome.data();
-        let float = |v: Option<f64>| v.map(|f| format!("{f:.6}")).unwrap_or_default();
-        let row = [
-            csv_escape(&point.workload),
-            point
-                .generated
-                .map(|g| g.population_seed.to_string())
-                .unwrap_or_default(),
-            point
-                .generated
-                .map(|g| g.index.to_string())
-                .unwrap_or_default(),
-            point.config.organization.label().to_string(),
-            point.config.mrf_config.id.0.to_string(),
-            format!("{:.3}", point.config.latency_factor()),
-            point.config.registers_per_interval.to_string(),
-            point.config.active_warps.to_string(),
-            point.config.sm_count.to_string(),
-            memory_label(point.memory).to_string(),
-            record.seed.to_string(),
-            status.to_string(),
-            float(data.map(|d| d.result.ipc)),
-            float(data.and_then(|d| d.normalized_ipc)),
-            float(data.and_then(|d| d.normalized_power)),
-            float(data.map(|d| d.result.power.average_power_mw)),
-            float(data.map(|d| d.result.power.total_pj())),
-            float(data.map(|d| d.result.power.leakage_pj)),
-            float(data.and_then(|d| d.result.cache_hit_rate)),
-            // The aggregate stats carry the shared structures' totals for
-            // multi-SM points and the private LLC/DRAM for single-SM ones.
-            float(data.map(|d| d.result.stats.memory.llc.hit_rate())),
-            float(data.map(|d| d.result.stats.memory.dram.row_hit_rate())),
-            record.from_cache.to_string(),
-            csv_escape(&error),
-        ];
-        out.push_str(&row.join(","));
+        out.push_str(&csv_row(record));
         out.push('\n');
     }
     out

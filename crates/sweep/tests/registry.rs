@@ -108,8 +108,9 @@ struct EventCounts {
     point_started: usize,
     finished_hits: usize,
     finished_misses: usize,
+    restored: usize,
     failed: usize,
-    campaign_finished: Vec<(usize, usize, usize, f64)>,
+    campaign_finished: Vec<(usize, usize, usize, usize, f64)>,
 }
 
 fn count(events: &[CampaignEvent]) -> EventCounts {
@@ -118,6 +119,7 @@ fn count(events: &[CampaignEvent]) -> EventCounts {
         point_started: 0,
         finished_hits: 0,
         finished_misses: 0,
+        restored: 0,
         failed: 0,
         campaign_finished: Vec::new(),
     };
@@ -131,16 +133,18 @@ fn count(events: &[CampaignEvent]) -> EventCounts {
             CampaignEvent::PointFinished {
                 cache_hit: false, ..
             } => counts.finished_misses += 1,
+            CampaignEvent::PointRestored { .. } => counts.restored += 1,
             CampaignEvent::PointFailed { .. } => counts.failed += 1,
             CampaignEvent::CampaignFinished {
                 computed,
                 cached,
+                restored,
                 failed,
                 hit_rate,
                 ..
             } => counts
                 .campaign_finished
-                .push((*computed, *cached, *failed, *hit_rate)),
+                .push((*computed, *cached, *restored, *failed, *hit_rate)),
         }
     }
     counts
@@ -151,9 +155,13 @@ fn assert_stream_matches(events: &[CampaignEvent], results: &SweepResults) {
     assert_eq!(counts.started, 1, "exactly one CampaignStarted");
     assert_eq!(counts.point_started, results.len(), "one start per point");
     assert_eq!(
-        counts.finished_hits + counts.finished_misses + counts.failed,
+        counts.finished_hits + counts.finished_misses + counts.restored + counts.failed,
         results.len(),
         "one terminal event per point"
+    );
+    assert_eq!(
+        counts.restored, 0,
+        "non-resume runs never restore from a journal"
     );
     assert_eq!(
         counts.finished_hits,
@@ -161,7 +169,8 @@ fn assert_stream_matches(events: &[CampaignEvent], results: &SweepResults) {
         "cache_hit flags"
     );
     assert_eq!(counts.failed, results.failure_count(), "failure events");
-    let &[(computed, cached, failed, hit_rate)] = counts.campaign_finished.as_slice() else {
+    let &[(computed, cached, restored, failed, hit_rate)] = counts.campaign_finished.as_slice()
+    else {
         panic!(
             "exactly one CampaignFinished, got {:?}",
             counts.campaign_finished
@@ -169,6 +178,7 @@ fn assert_stream_matches(events: &[CampaignEvent], results: &SweepResults) {
     };
     assert_eq!(computed, results.computed_count());
     assert_eq!(cached, results.cached_count());
+    assert_eq!(restored, 0, "non-resume runs report zero restored points");
     assert_eq!(failed, results.failure_count());
     assert!((hit_rate - results.cache_hit_rate()).abs() < 1e-12);
     // The last event of the stream is the campaign summary.
