@@ -307,9 +307,9 @@ mod tests {
     use crate::spec::{SeedMode, SweepSpec};
     use crate::{point_key, report};
 
-    fn synthetic_results() -> SweepResults {
+    fn synthetic_results_for(workloads: &[&str]) -> SweepResults {
         let spec = SweepSpec::builder("stream-test")
-            .workloads(["hotspot", "btree", "kmeans"])
+            .workloads(workloads.iter().copied())
             .seed_mode(SeedMode::Fixed(7))
             .build();
         let records = spec
@@ -331,6 +331,10 @@ mod tests {
             name: spec.name,
             records,
         }
+    }
+
+    fn synthetic_results() -> SweepResults {
+        synthetic_results_for(&["hotspot", "btree", "kmeans"])
     }
 
     #[test]
@@ -356,5 +360,88 @@ mod tests {
             sink.on_record(index, &results.records[index]);
         }
         assert_eq!(sink.finish(), RunningAggregates::from_results(&results));
+    }
+
+    /// The reorder buffer is bounded by the workers' completion skew; its
+    /// worst case is fully reversed delivery, where the buffer must hold
+    /// exactly `points - 1` rows before row 0 arrives and unblocks the
+    /// whole cascade. This pins the boundary — the off-by-one hazard noted
+    /// in the module docs — by checking the buffer's high-water mark, the
+    /// single-callback full drain, and the final bytes.
+    #[test]
+    fn csv_reorder_buffer_survives_skew_equal_to_its_capacity() {
+        let names: Vec<String> = (0..8).map(|i| format!("skew-wl-{i}")).collect();
+        let refs: Vec<&str> = names.iter().map(String::as_str).collect();
+        let results = synthetic_results_for(&refs);
+        let n = results.records.len();
+        assert!(n >= 8, "need a non-trivial point count, got {n}");
+        let path = std::env::temp_dir().join(format!("ltrf-stream-skew-{}", std::process::id()));
+        let writer = StreamingCsvWriter::create(&path).unwrap();
+        // Everything except index 0, in reverse: nothing is consecutive
+        // from `next == 0`, so every row parks in the buffer.
+        for index in (1..n).rev() {
+            writer.on_record(index, &results.records[index]);
+        }
+        {
+            let state = writer.state.lock().unwrap();
+            assert_eq!(state.next, 0, "no row may flush before index 0");
+            assert_eq!(
+                state.pending.len(),
+                n - 1,
+                "the buffer holds the full skew at its high-water mark"
+            );
+        }
+        // Index 0 lands: one callback must drain all n rows.
+        writer.on_record(0, &results.records[0]);
+        {
+            let state = writer.state.lock().unwrap();
+            assert_eq!(state.next, n, "the cascade flushed every row");
+            assert!(state.pending.is_empty(), "nothing may be left behind");
+        }
+        writer.finish().unwrap();
+        let streamed = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(streamed, report::to_csv(&results));
+        let _ = std::fs::remove_file(&path);
+    }
+
+    /// The same boundary for [`AggregateSink`]: fully reversed delivery
+    /// must fold to exactly the batch aggregates.
+    #[test]
+    fn aggregate_sink_survives_skew_equal_to_its_capacity() {
+        let names: Vec<String> = (0..8).map(|i| format!("skew-wl-{i}")).collect();
+        let refs: Vec<&str> = names.iter().map(String::as_str).collect();
+        let results = synthetic_results_for(&refs);
+        let sink = AggregateSink::new();
+        for index in (0..results.records.len()).rev() {
+            sink.on_record(index, &results.records[index]);
+        }
+        assert_eq!(sink.finish(), RunningAggregates::from_results(&results));
+    }
+
+    /// Live end-to-end pin: `run_streaming` with as many worker threads as
+    /// points (so completion skew *can* reach the buffer's capacity) still
+    /// writes a CSV byte-identical to the batch renderer.
+    #[test]
+    fn run_streaming_with_threads_equal_to_points_matches_batch() {
+        use crate::executor::{CampaignSession, ExecutorOptions};
+        let spec = SweepSpec::builder("stream-skew-live")
+            .workloads(["hotspot", "btree"])
+            .seed_mode(SeedMode::Fixed(7))
+            .build();
+        let points = spec.points.len();
+        let options = ExecutorOptions {
+            threads: Some(points),
+            ..ExecutorOptions::default()
+        };
+        let path =
+            std::env::temp_dir().join(format!("ltrf-stream-skew-live-{}", std::process::id()));
+        let csv = StreamingCsvWriter::create(&path).unwrap();
+        let (results, totals) =
+            CampaignSession::new(&spec, &options).run_with_sink(&crate::executor::Unobserved, &csv);
+        csv.finish().unwrap();
+        assert_eq!(totals.computed, points);
+        let streamed = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(streamed, report::to_csv(&results));
+        let _ = std::fs::remove_file(&path);
     }
 }

@@ -1,0 +1,85 @@
+//! Golden-file regression test for the `sweep table2` CSV output (`--quick`
+//! subset) — the fixture the CI `serve-smoke` job also drives two
+//! overlapping campaign-service sessions against.
+//!
+//! The spec comes from the same canonical constructor the CLI and the
+//! service both dispatch to ([`ltrf_sweep::campaigns::table2_spec`]), so the
+//! committed fixture pins the exact rows `sweep table2 --quick` — and a
+//! `table2 --quick` session submitted over the `sweep serve` line protocol —
+//! emits. Any refactor that shifts a statistic, the CSV schema, or the point
+//! enumeration order fails this test.
+//!
+//! When an *intentional* behaviour change shifts the numbers, regenerate the
+//! fixture and review the diff like any other code change:
+//!
+//! ```text
+//! LTRF_BLESS=1 cargo test -p ltrf-sweep --test golden_table2
+//! ```
+
+use std::path::PathBuf;
+
+use ltrf_sweep::campaigns::table2_spec;
+use ltrf_sweep::{report, run_sweep, ExecutorOptions, SeedMode, CAMPAIGN_SEED};
+use ltrf_workloads::QUICK_SUBSET;
+
+/// Path of the committed fixture (source-relative, so the test can bless it).
+fn fixture_path() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/golden/table2-quick.csv")
+}
+
+/// Normalizes CSV text for comparison: line endings and trailing whitespace
+/// only — exact equality is the contract (see `golden_fig9.rs`).
+fn normalize(text: &str) -> Vec<String> {
+    text.replace("\r\n", "\n")
+        .lines()
+        .map(|line| line.trim_end().to_string())
+        .filter(|line| !line.is_empty())
+        .collect()
+}
+
+#[test]
+fn table2_quick_csv_matches_the_committed_golden_file() {
+    let spec = table2_spec(QUICK_SUBSET, 1, SeedMode::Fixed(CAMPAIGN_SEED));
+    // Uncached: provenance columns must read `false` in the fixture no
+    // matter what caches exist on the developer's machine.
+    let results = run_sweep(&spec, &ExecutorOptions::default());
+    assert_eq!(
+        results.failure_count(),
+        0,
+        "table2 quick points all succeed"
+    );
+    let csv = report::to_csv(&results);
+
+    let path = fixture_path();
+    if std::env::var_os("LTRF_BLESS").is_some() {
+        std::fs::create_dir_all(path.parent().expect("fixture has a parent")).unwrap();
+        std::fs::write(&path, &csv).unwrap();
+        eprintln!("blessed {}", path.display());
+        return;
+    }
+
+    let golden = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "cannot read the golden fixture {} ({e}); generate it with \
+             LTRF_BLESS=1 cargo test -p ltrf-sweep --test golden_table2",
+            path.display()
+        )
+    });
+    let expected = normalize(&golden);
+    let actual = normalize(&csv);
+
+    for (i, (want, got)) in expected.iter().zip(actual.iter()).enumerate() {
+        assert_eq!(
+            want,
+            got,
+            "table2 CSV line {} drifted from the golden file (an intentional \
+             change must re-bless the fixture with LTRF_BLESS=1)",
+            i + 1
+        );
+    }
+    assert_eq!(
+        expected.len(),
+        actual.len(),
+        "table2 CSV row count drifted from the golden file"
+    );
+}

@@ -35,7 +35,7 @@ fn sweep_commands(doc: &str) -> BTreeSet<String> {
 }
 
 /// The CLI's meta-commands: part of the `sweep` surface but not campaigns.
-const META_COMMANDS: [&str; 4] = ["list", "describe", "version", "help"];
+const META_COMMANDS: [&str; 6] = ["list", "describe", "version", "help", "serve", "client"];
 
 #[test]
 fn registry_matches_the_reproducing_atlas() {
@@ -109,8 +109,9 @@ struct EventCounts {
     finished_hits: usize,
     finished_misses: usize,
     restored: usize,
+    coalesced: usize,
     failed: usize,
-    campaign_finished: Vec<(usize, usize, usize, usize, f64)>,
+    campaign_finished: Vec<(usize, usize, usize, usize, usize, f64)>,
 }
 
 fn count(events: &[CampaignEvent]) -> EventCounts {
@@ -120,6 +121,7 @@ fn count(events: &[CampaignEvent]) -> EventCounts {
         finished_hits: 0,
         finished_misses: 0,
         restored: 0,
+        coalesced: 0,
         failed: 0,
         campaign_finished: Vec::new(),
     };
@@ -134,17 +136,19 @@ fn count(events: &[CampaignEvent]) -> EventCounts {
                 cache_hit: false, ..
             } => counts.finished_misses += 1,
             CampaignEvent::PointRestored { .. } => counts.restored += 1,
+            CampaignEvent::PointCoalesced { .. } => counts.coalesced += 1,
             CampaignEvent::PointFailed { .. } => counts.failed += 1,
             CampaignEvent::CampaignFinished {
                 computed,
                 cached,
                 restored,
+                coalesced,
                 failed,
                 hit_rate,
                 ..
-            } => counts
-                .campaign_finished
-                .push((*computed, *cached, *restored, *failed, *hit_rate)),
+            } => counts.campaign_finished.push((
+                *computed, *cached, *restored, *coalesced, *failed, *hit_rate,
+            )),
         }
     }
     counts
@@ -155,7 +159,11 @@ fn assert_stream_matches(events: &[CampaignEvent], results: &SweepResults) {
     assert_eq!(counts.started, 1, "exactly one CampaignStarted");
     assert_eq!(counts.point_started, results.len(), "one start per point");
     assert_eq!(
-        counts.finished_hits + counts.finished_misses + counts.restored + counts.failed,
+        counts.finished_hits
+            + counts.finished_misses
+            + counts.restored
+            + counts.coalesced
+            + counts.failed,
         results.len(),
         "one terminal event per point"
     );
@@ -164,12 +172,17 @@ fn assert_stream_matches(events: &[CampaignEvent], results: &SweepResults) {
         "non-resume runs never restore from a journal"
     );
     assert_eq!(
+        counts.coalesced, 0,
+        "coalescing needs a PointCoordinator; plain runs have none"
+    );
+    assert_eq!(
         counts.finished_hits,
         results.cached_count(),
         "cache_hit flags"
     );
     assert_eq!(counts.failed, results.failure_count(), "failure events");
-    let &[(computed, cached, restored, failed, hit_rate)] = counts.campaign_finished.as_slice()
+    let &[(computed, cached, restored, coalesced, failed, hit_rate)] =
+        counts.campaign_finished.as_slice()
     else {
         panic!(
             "exactly one CampaignFinished, got {:?}",
@@ -179,6 +192,10 @@ fn assert_stream_matches(events: &[CampaignEvent], results: &SweepResults) {
     assert_eq!(computed, results.computed_count());
     assert_eq!(cached, results.cached_count());
     assert_eq!(restored, 0, "non-resume runs report zero restored points");
+    assert_eq!(
+        coalesced, 0,
+        "uncoordinated runs report zero coalesced points"
+    );
     assert_eq!(failed, results.failure_count());
     assert!((hit_rate - results.cache_hit_rate()).abs() < 1e-12);
     // The last event of the stream is the campaign summary.
