@@ -13,7 +13,7 @@
 //! cargo run --release -p ltrf-bench --bin bench_sweep
 //! ```
 //!
-//! Three slices are measured, all with the fixed campaign seed so the work
+//! Four slices are measured, all with the fixed campaign seed so the work
 //! is identical run to run:
 //!
 //! * `table2-quick` — the Table 2 design-point sweep over the quick suite
@@ -21,6 +21,10 @@
 //! * `trace-campaign` — BL vs. LTRF over the three checked-in example
 //!   traces (the `ltrf-trace` ingestion frontend, whose cache identity is
 //!   the trace file's content fingerprint);
+//! * `interconnect-quick` — the crossbar slice of the interconnect campaign
+//!   over the quick suite and its 1/4/16-SM axis (multi-SM points pay the
+//!   SM↔L2 network model; the non-default [`ltrf_sim::InterconnectConfig`]
+//!   is cache-key material, exercising the extended point identity);
 //! * `gen-10k-streaming` — a 10,000-point generated-population campaign
 //!   (5,000 members × BL/LTRF under tight generator bounds) driven through
 //!   the bounded-memory path: `run_streaming` into a [`StreamingCsvWriter`]
@@ -240,6 +244,17 @@ fn measure_all() -> Vec<Slice> {
             "trace-campaign",
             &CampaignParams {
                 trace_paths: example_traces(),
+                ..CampaignParams::default()
+            },
+        ),
+        measure(
+            "interconnect-quick",
+            "interconnect",
+            &CampaignParams {
+                quick: true,
+                // One topology makes this the registry's single-spec shape
+                // (the full campaign emits one spec per swept topology).
+                topology: Some(ltrf_sim::Topology::Crossbar),
                 ..CampaignParams::default()
             },
         ),

@@ -20,7 +20,7 @@ use ltrf_core::{
     ExperimentConfig, GpuArchitecture, Organization, OverheadInputs, OverheadReport,
 };
 use ltrf_isa::RegisterSensitivity;
-use ltrf_sim::GpuConfig;
+use ltrf_sim::{GpuConfig, Topology};
 use ltrf_sweep::api::config_org_mean;
 use ltrf_sweep::{
     registry, CampaignEvent, CampaignParams, CampaignSession, ExecutorOptions, MemorySelection,
@@ -969,6 +969,67 @@ pub fn trace_campaign(trace_paths: &[String], sm_count: usize) -> Vec<TraceCampa
     .collect()
 }
 
+// ---------------------------------------------------------------------------
+// Interconnect campaigns — SM↔L2 network topologies through the engine
+// ---------------------------------------------------------------------------
+
+/// One (topology, SM count) cell of the interconnect study (LTRF on
+/// configuration #6, matching the `sweep interconnect` campaign).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct InterconnectRow {
+    /// The SM↔L2 network topology under test.
+    pub topology: Topology,
+    /// Number of SMs simulated (single-SM points never touch the shared
+    /// network, so their network columns read zero).
+    pub sm_count: usize,
+    /// Mean whole-GPU IPC over the selected workloads.
+    pub mean_ipc: f64,
+    /// Mean shared-L2 hit rate.
+    pub mean_l2_hit_rate: f64,
+    /// Mean cycles L2 requests spent queued behind busy slices.
+    pub mean_l2_queue_wait: f64,
+    /// Mean end-to-end NoC latency per routed message, in cycles.
+    pub mean_noc_latency: f64,
+}
+
+/// Runs the interconnect study: LTRF on configuration #6 over each swept
+/// topology at each SM count, all SMs contending for the shared L2 through
+/// the configured network. Built from the same
+/// [`ltrf_sweep::campaigns::interconnect_specs`] constructor as the `sweep
+/// interconnect` subcommand (one spec per topology — the registry's only
+/// multi-spec campaign, so this function cannot ride the single-spec
+/// `registry_spec_with` path), aggregated through the shared
+/// [`PointMeans`] pivot. Like every figure function here it runs uncached
+/// unless `LTRF_CACHE_DIR` is set — the CLI is the cached entry point.
+#[must_use]
+pub fn interconnect_campaign(
+    selection: SuiteSelection,
+    params: &ltrf_sweep::InterconnectCampaignParams,
+) -> Vec<InterconnectRow> {
+    let workloads: Vec<String> = suite(selection)
+        .iter()
+        .map(|w| w.name().to_string())
+        .collect();
+    let specs = ltrf_sweep::campaigns::interconnect_specs(&workloads, params);
+    let mut rows = Vec::new();
+    for (topology, spec) in params.topologies.iter().zip(&specs) {
+        let results = run_figure_spec(spec);
+        rows.extend(
+            PointMeans::grouped(&results, &params.sm_counts, &[Organization::Ltrf])
+                .into_iter()
+                .map(|(sm_count, _, means)| InterconnectRow {
+                    topology: *topology,
+                    sm_count,
+                    mean_ipc: means.ipc,
+                    mean_l2_hit_rate: means.l2_hit_rate,
+                    mean_l2_queue_wait: means.l2_queue_wait,
+                    mean_noc_latency: means.noc_latency,
+                }),
+        );
+    }
+    rows
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1011,6 +1072,29 @@ mod tests {
         // Same campaign parameters, same rows (the engine is deterministic
         // and the population is index-stable).
         assert_eq!(rows, gen_campaign(4, 7, 1));
+    }
+
+    #[test]
+    fn interconnect_campaign_reports_every_topology_cell() {
+        let params = ltrf_sweep::InterconnectCampaignParams {
+            topologies: vec![Topology::Ideal, Topology::Crossbar],
+            sm_counts: vec![1, 2],
+            ..ltrf_sweep::InterconnectCampaignParams::default()
+        };
+        let rows = interconnect_campaign(SuiteSelection::Quick, &params);
+        assert_eq!(rows.len(), 4, "2 topologies x 2 SM counts");
+        for row in &rows {
+            assert!(row.mean_ipc > 0.0, "{row:?}");
+            assert!((0.0..=1.0).contains(&row.mean_l2_hit_rate), "{row:?}");
+            match (row.topology, row.sm_count) {
+                // The ideal network is latency-free, and single-SM points
+                // never route through the shared network at all.
+                (Topology::Ideal, _) | (_, 1) => {
+                    assert_eq!(row.mean_noc_latency, 0.0, "{row:?}");
+                }
+                _ => assert!(row.mean_noc_latency > 0.0, "{row:?}"),
+            }
+        }
     }
 
     #[test]

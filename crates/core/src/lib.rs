@@ -62,6 +62,7 @@ pub use latency_tolerance::{
     latency_sweep, paper_latency_factors, LatencySweep, LatencySweepPoint,
 };
 pub use ltrf_sim::EngineKind;
+pub use ltrf_sim::{InterconnectConfig, InterconnectStats, InterleaveMode, Topology};
 pub use occupancy::{capacity_requirement, CapacityRequirement, GpuArchitecture};
 pub use organizations::{
     build_organization, build_organization_fleet, BuiltOrganization, LtrfParams, LtrfRegisterFile,

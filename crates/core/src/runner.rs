@@ -5,8 +5,8 @@ use serde::{Deserialize, Serialize};
 
 use ltrf_isa::Kernel;
 use ltrf_sim::{
-    simulate_gpu_with, simulate_with, EngineKind, GpuConfig, GpuStats, MemoryBehavior, SimStats,
-    SimWorkload, SmConfig,
+    simulate_gpu_with, simulate_with, EngineKind, GpuConfig, GpuStats, InterconnectConfig,
+    MemoryBehavior, SimStats, SimWorkload, SmConfig,
 };
 use ltrf_tech::{PowerBreakdown, PowerParams, RegFileConfig, RegFilePowerModel};
 
@@ -42,6 +42,11 @@ pub struct ExperimentConfig {
     /// therefore of every content-addressed cache key — results computed
     /// under different calibrations never alias.
     pub power: PowerParams,
+    /// The SM↔L2 interconnect model multi-SM runs contend through. The
+    /// default (`Ideal` topology) is bit-identical to the historical direct
+    /// slice access and is *elided* from cache-key material so pre-existing
+    /// keys stay stable; any non-default field makes every key miss.
+    pub interconnect: InterconnectConfig,
 }
 
 impl ExperimentConfig {
@@ -57,6 +62,7 @@ impl ExperimentConfig {
             rfc_entries_per_warp: 16,
             sm_count: 1,
             power: PowerParams::default(),
+            interconnect: InterconnectConfig::default(),
         }
     }
 
@@ -108,6 +114,13 @@ impl ExperimentConfig {
         self
     }
 
+    /// Sets the SM↔L2 interconnect model (the `sweep interconnect` knobs).
+    #[must_use]
+    pub fn with_interconnect(mut self, interconnect: InterconnectConfig) -> Self {
+        self.interconnect = interconnect;
+        self
+    }
+
     /// The effective main-register-file latency factor of this experiment.
     #[must_use]
     pub fn latency_factor(&self) -> f64 {
@@ -124,9 +137,27 @@ impl ExperimentConfig {
     /// `ltrf-sweep` to derive content-addressed cache keys. Field order is
     /// declaration order and floats use shortest round-trip formatting, so
     /// equal configurations always produce identical material.
+    ///
+    /// The `interconnect` field is *removed* when it equals the default
+    /// (`Ideal` topology): default-configured experiments keep producing the
+    /// exact key material they produced before the interconnect existed, so
+    /// historical caches stay warm — while any non-default field changes the
+    /// material and forces a recompute.
     #[must_use]
     pub fn cache_key_value(&self) -> serde::Value {
-        Serialize::to_value(self)
+        let value = Serialize::to_value(self);
+        if self.interconnect != InterconnectConfig::default() {
+            return value;
+        }
+        match value {
+            serde::Value::Object(fields) => serde::Value::Object(
+                fields
+                    .into_iter()
+                    .filter(|(name, _)| name != "interconnect")
+                    .collect(),
+            ),
+            other => other,
+        }
     }
 
     /// [`Self::cache_key_value`] rendered as canonical JSON text.
@@ -165,6 +196,7 @@ impl ExperimentConfig {
         GpuConfig {
             sm_count: self.sm_count.max(1),
             sm: self.sm_config(),
+            interconnect: self.interconnect,
             ..GpuConfig::default()
         }
     }
@@ -541,6 +573,52 @@ mod tests {
         let four = one.with_sm_count(4);
         assert_ne!(one.cache_key_material(), four.cache_key_material());
         assert!(four.cache_key_material().contains("\"sm_count\":4"));
+    }
+
+    #[test]
+    fn default_interconnect_is_elided_from_the_cache_key() {
+        // Pre-interconnect caches must stay warm: the all-default network
+        // configuration contributes nothing to key material...
+        let default_cfg = ExperimentConfig::new(Organization::Ltrf);
+        assert!(
+            !default_cfg.cache_key_material().contains("interconnect"),
+            "default interconnect must not appear in key material"
+        );
+        // ...while changing any single field makes the key miss.
+        use ltrf_sim::{InterleaveMode, Topology};
+        let base = InterconnectConfig::default();
+        let variants = [
+            InterconnectConfig {
+                topology: Topology::Crossbar,
+                ..base
+            },
+            InterconnectConfig {
+                link_width: 16,
+                ..base
+            },
+            InterconnectConfig {
+                queue_depth: 4,
+                ..base
+            },
+            InterconnectConfig {
+                interleave: InterleaveMode::XorFold,
+                ..base
+            },
+        ];
+        for variant in variants {
+            let changed = default_cfg.with_interconnect(variant);
+            let material = changed.cache_key_material();
+            assert!(material.contains("interconnect"), "{variant:?}");
+            assert_ne!(material, default_cfg.cache_key_material(), "{variant:?}");
+        }
+        // Distinct non-default configurations also never alias each other.
+        let a = default_cfg
+            .with_interconnect(variants[0])
+            .cache_key_material();
+        let b = default_cfg
+            .with_interconnect(variants[1])
+            .cache_key_material();
+        assert_ne!(a, b);
     }
 
     #[test]

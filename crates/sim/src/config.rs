@@ -15,6 +15,7 @@
 
 use serde::{Deserialize, Serialize};
 
+use crate::interconnect::InterconnectConfig;
 use crate::types::Cycle;
 
 /// Execution latencies per functional-unit class, in core cycles.
@@ -291,6 +292,9 @@ pub struct GpuConfig {
     pub sm: SmConfig,
     /// Shared-L2 bandwidth/queue parameters.
     pub l2: L2Config,
+    /// SM↔L2 network parameters. The default `Ideal` topology is
+    /// bit-identical to a direct slice access.
+    pub interconnect: InterconnectConfig,
 }
 
 impl Default for GpuConfig {
@@ -299,6 +303,7 @@ impl Default for GpuConfig {
             sm_count: 16,
             sm: SmConfig::default(),
             l2: L2Config::default(),
+            interconnect: InterconnectConfig::default(),
         }
     }
 }
@@ -317,6 +322,13 @@ impl GpuConfig {
     #[must_use]
     pub fn with_sm(mut self, sm: SmConfig) -> Self {
         self.sm = sm;
+        self
+    }
+
+    /// Replaces the SM↔L2 network configuration.
+    #[must_use]
+    pub fn with_interconnect(mut self, interconnect: InterconnectConfig) -> Self {
+        self.interconnect = interconnect;
         self
     }
 }

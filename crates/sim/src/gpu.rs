@@ -33,6 +33,7 @@ use crate::config::GpuConfig;
 use crate::driver::{self, SmEngine};
 use crate::engine::{simulate_with, Engine, EngineKind, SimWorkload};
 use crate::fast::FastEngine;
+use crate::interconnect::InterconnectStats;
 use crate::memory::cache::CacheStats;
 use crate::memory::dram::DramStats;
 use crate::memory::{AddressGenerator, MemoryHierarchy, SharedMemory};
@@ -65,6 +66,13 @@ pub struct GpuStats {
     pub dram: DramStats,
     /// Cycles requests spent queued behind busy shared-L2 slices.
     pub l2_queue_wait_cycles: u64,
+    /// Queue wait of the least loaded L2 slice (slice-imbalance floor).
+    pub l2_slice_wait_min: u64,
+    /// Queue wait of the most loaded L2 slice (slice-imbalance ceiling).
+    pub l2_slice_wait_max: u64,
+    /// SM↔L2 interconnect statistics (all-zero latencies under the default
+    /// `Ideal` topology and for single-SM runs).
+    pub noc: InterconnectStats,
     /// True if any SM hit the safety cycle cap before finishing.
     pub truncated: bool,
 }
@@ -145,6 +153,9 @@ impl GpuStats {
         agg.memory.llc = self.l2;
         agg.memory.dram = self.dram;
         agg.memory.l2_queue_wait_cycles = self.l2_queue_wait_cycles;
+        agg.memory.l2_slice_wait_min = self.l2_slice_wait_min;
+        agg.memory.l2_slice_wait_max = self.l2_slice_wait_max;
+        agg.memory.noc = self.noc;
         agg
     }
 
@@ -162,6 +173,9 @@ impl GpuStats {
             l2: stats.memory.llc,
             dram: stats.memory.dram,
             l2_queue_wait_cycles: stats.memory.l2_queue_wait_cycles,
+            l2_slice_wait_min: stats.memory.l2_slice_wait_min,
+            l2_slice_wait_max: stats.memory.l2_slice_wait_max,
+            noc: stats.memory.noc,
             truncated: stats.truncated,
             per_sm: vec![stats],
         }
@@ -260,7 +274,8 @@ fn run_multi_sm<'a, E: SmEngine<'a>>(
     let engines: Vec<E> = regfiles
         .iter_mut()
         .zip(plan)
-        .map(|(regfile, assignment)| {
+        .enumerate()
+        .map(|(sm_index, (regfile, assignment))| {
             let seeds: Vec<u64> = (0..assignment.warps as u64)
                 .map(|w| {
                     let global = assignment.first_warp as u64 + w;
@@ -271,7 +286,7 @@ fn run_multi_sm<'a, E: SmEngine<'a>>(
                 &workload.kernel,
                 &config.sm,
                 regfile.as_mut(),
-                MemoryHierarchy::shared_port(&config.sm.memory, Rc::clone(shared)),
+                MemoryHierarchy::shared_port(&config.sm.memory, Rc::clone(shared), sm_index),
                 AddressGenerator::sharded(
                     workload.memory,
                     assignment.warps,
@@ -324,9 +339,11 @@ pub fn simulate_gpu_with(
     );
     let total_warps: usize = plan.iter().map(|a| a.warps).sum();
 
-    let shared = Rc::new(RefCell::new(SharedMemory::new(
+    let shared = Rc::new(RefCell::new(SharedMemory::with_interconnect(
         &config.sm.memory,
         &config.l2,
+        &config.interconnect,
+        sm_count,
     )));
     let (per_sm, cycle) = match kind {
         EngineKind::Fast => {
@@ -336,12 +353,14 @@ pub fn simulate_gpu_with(
             run_multi_sm::<Engine>(workload, config, regfiles, &plan, &shared, total_warps)
         }
     };
-    let (l2, dram, l2_queue_wait_cycles) = {
+    let (l2, dram, l2_queue_wait_cycles, (slice_min, slice_max), noc) = {
         let shared = shared.borrow();
         (
             shared.llc_stats(),
             shared.dram_stats(),
             shared.l2_queue_wait_cycles(),
+            shared.slice_wait_bounds(),
+            shared.noc_stats(),
         )
     };
     GpuStats {
@@ -354,6 +373,9 @@ pub fn simulate_gpu_with(
         l2,
         dram,
         l2_queue_wait_cycles,
+        l2_slice_wait_min: slice_min,
+        l2_slice_wait_max: slice_max,
+        noc,
         truncated: per_sm.iter().any(|s| s.truncated),
         per_sm,
     }
@@ -514,6 +536,46 @@ mod tests {
         // The shared structures saw traffic from several SMs.
         assert_eq!(four.ctas_per_sm.len(), 4);
         assert!(four.ctas_per_sm.iter().all(|&c| c > 0));
+    }
+
+    /// Acceptance criterion: at 16 SMs, Crossbar and Mesh2D must be
+    /// measurably different from each other (and from Ideal) in NoC latency
+    /// and L2 queueing — topology is a real model, not a label.
+    #[test]
+    fn crossbar_and_mesh_topologies_diverge_at_16_sms() {
+        use crate::interconnect::{InterconnectConfig, Topology};
+        let kernel = memory_kernel(4, 32);
+        let workload = SimWorkload::new(kernel).with_seed(11);
+        let run = |topology| {
+            let config =
+                gpu_config(16).with_interconnect(InterconnectConfig::with_topology(topology));
+            simulate_gpu(&workload, &config, &mut regfiles(16, &config.sm))
+        };
+        let ideal = run(Topology::Ideal);
+        let xbar = run(Topology::Crossbar);
+        let mesh = run(Topology::Mesh2D);
+        assert_eq!(ideal.noc.total_latency, 0, "ideal transport is free");
+        assert!(
+            xbar.noc.mean_latency() > 0.0,
+            "crossbar transport costs cycles"
+        );
+        assert!(
+            mesh.noc.mean_latency() > xbar.noc.mean_latency(),
+            "mesh pays per-hop distance a crossbar does not ({} vs {})",
+            mesh.noc.mean_latency(),
+            xbar.noc.mean_latency()
+        );
+        assert_ne!(
+            (mesh.l2_queue_wait_cycles, mesh.noc.total_latency),
+            (xbar.l2_queue_wait_cycles, xbar.noc.total_latency),
+            "topologies must leave distinguishable contention signatures"
+        );
+        assert!(ideal.cycles <= xbar.cycles && ideal.cycles <= mesh.cycles);
+        assert_eq!(
+            (ideal.instructions, xbar.instructions, mesh.instructions),
+            (ideal.instructions, ideal.instructions, ideal.instructions),
+            "topology changes timing, never the work performed"
+        );
     }
 
     #[test]

@@ -44,6 +44,7 @@ mod driver;
 mod engine;
 mod fast;
 pub mod gpu;
+pub mod interconnect;
 pub mod memory;
 mod regfile;
 mod stats;
@@ -54,6 +55,9 @@ mod warp;
 pub use config::{ExecLatencies, GpuConfig, L2Config, MemoryConfig, RegFileTiming, SmConfig};
 pub use engine::{simulate, simulate_with, EngineKind, SimWorkload};
 pub use gpu::{simulate_gpu, simulate_gpu_with, GpuStats};
+pub use interconnect::{
+    AddressDecoder, Interconnect, InterconnectConfig, InterconnectStats, InterleaveMode, Topology,
+};
 pub use memory::{AddressGenerator, MemoryBehavior, MemoryStats, SharedMemory};
 pub use regfile::{DirectRegisterFile, IdealRegisterFile, RegisterFileModel};
 pub use stats::SimStats;

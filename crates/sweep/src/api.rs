@@ -70,9 +70,11 @@ use ltrf_tech::configs::RegFileConfig;
 use ltrf_tech::PowerParams;
 use ltrf_workloads::{GeneratorConfig, QUICK_SUBSET};
 
+use ltrf_sim::Topology;
+
 use crate::campaigns::{
-    self, GenCampaignParams, TraceCampaignParams, FIG11_ORGS, FIG9_ORGS, GEN_CAMPAIGN_ORGS,
-    POWER_ORGS,
+    self, GenCampaignParams, InterconnectCampaignParams, TraceCampaignParams, FIG11_ORGS,
+    FIG9_ORGS, GEN_CAMPAIGN_ORGS, POWER_ORGS,
 };
 use crate::executor::{PointRecord, SweepResults};
 use crate::spec::{SeedMode, SweepSpec};
@@ -129,6 +131,15 @@ pub struct CampaignParams {
     /// Trace files of `trace-campaign`, in axis order (empty = the three
     /// checked-in example traces under `examples/traces/`).
     pub trace_paths: Vec<String>,
+    /// The single topology `interconnect` sweeps (`None` = the default
+    /// ideal-vs-crossbar comparison).
+    pub topology: Option<Topology>,
+    /// Link width in bytes per cycle of `interconnect` (`None` = the
+    /// [`ltrf_sim::InterconnectConfig::default`] width).
+    pub link_width: Option<u64>,
+    /// Bounded per-link queue depth of `interconnect` (`None` = the
+    /// [`ltrf_sim::InterconnectConfig::default`] depth).
+    pub queue_depth: Option<usize>,
 }
 
 impl CampaignParams {
@@ -238,6 +249,25 @@ impl CampaignParams {
         })
     }
 
+    /// Assembles the interconnect-campaign parameters: one topology from
+    /// `--topology` (default ideal + crossbar), the link provisioning
+    /// knobs, and the contention-reaching SM-count axis (`--sm-counts`,
+    /// default 1,4,16).
+    #[must_use]
+    pub fn interconnect_params(&self) -> InterconnectCampaignParams {
+        let defaults = InterconnectCampaignParams::default();
+        InterconnectCampaignParams {
+            topologies: match self.topology {
+                Some(topology) => vec![topology],
+                None => defaults.topologies,
+            },
+            link_width: self.link_width.unwrap_or(defaults.link_width).max(1),
+            queue_depth: self.queue_depth.unwrap_or(defaults.queue_depth).max(1),
+            sm_counts: self.sm_counts.clone().unwrap_or(defaults.sm_counts),
+            seed_mode: self.seed_mode(),
+        }
+    }
+
     /// The default trace set of `trace-campaign` when no `--trace` is
     /// given: the three checked-in example traces, relative to the
     /// repository root.
@@ -302,6 +332,8 @@ pub enum ParamType {
     /// A file path (`--trace examples/traces/straight_line.trace`),
     /// repeatable to accumulate several.
     Path,
+    /// A keyword from a fixed vocabulary (`--topology mesh`).
+    Word,
 }
 
 impl ParamType {
@@ -314,6 +346,7 @@ impl ParamType {
             ParamType::Float => "float",
             ParamType::IntList => "int_list",
             ParamType::Path => "path",
+            ParamType::Word => "word",
         }
     }
 }
@@ -425,13 +458,14 @@ pub mod params {
         },
     };
 
-    /// `--sm-counts A,B,..`: the SM-count axis of `gpu-scale`.
+    /// `--sm-counts A,B,..`: the SM-count axis of `gpu-scale` and
+    /// `interconnect`.
     pub static SM_COUNTS: ParamSpec = ParamSpec {
         flag: "--sm-counts",
         value_name: Some("A,B,.."),
         ty: ParamType::IntList,
-        default: "1,2,4,8",
-        help: "the SM-count axis of gpu-scale",
+        default: "1,2,4,8 (gpu-scale) / 1,4,16 (interconnect)",
+        help: "the SM-count axis of gpu-scale and interconnect",
         hint: "use --sm-count N for a single-count campaign",
         apply: |p, v| {
             let list = v.ok_or("--sm-counts needs a comma list")?;
@@ -606,6 +640,48 @@ pub mod params {
         },
     };
 
+    /// `--topology T`: the single topology `interconnect` sweeps.
+    pub static TOPOLOGY: ParamSpec = ParamSpec {
+        flag: "--topology",
+        value_name: Some("T"),
+        ty: ParamType::Word,
+        default: "ideal and crossbar, one spec each",
+        help: "restrict the topology axis to one of ideal|crossbar|mesh",
+        hint: "it selects the SM<->L2 network (use `sweep interconnect`)",
+        apply: |p, v| {
+            p.topology = Some(parsed("--topology", v)?);
+            Ok(())
+        },
+    };
+
+    /// `--link-width B`: network link width in bytes per cycle.
+    pub static LINK_WIDTH: ParamSpec = ParamSpec {
+        flag: "--link-width",
+        value_name: Some("B"),
+        ty: ParamType::Int,
+        default: "32 bytes/cycle",
+        help: "network link width in bytes per cycle (non-ideal topologies)",
+        hint: "it provisions the SM<->L2 network (use `sweep interconnect`)",
+        apply: |p, v| {
+            p.link_width = Some(parsed::<u64>("--link-width", v)?.max(1));
+            Ok(())
+        },
+    };
+
+    /// `--queue-depth N`: bounded per-link queue depth.
+    pub static QUEUE_DEPTH: ParamSpec = ParamSpec {
+        flag: "--queue-depth",
+        value_name: Some("N"),
+        ty: ParamType::Int,
+        default: "8 in-flight transfers per link",
+        help: "bounded per-link queue depth (non-ideal topologies)",
+        hint: "it provisions the SM<->L2 network (use `sweep interconnect`)",
+        apply: |p, v| {
+            p.queue_depth = Some(parsed::<usize>("--queue-depth", v)?.max(1));
+            Ok(())
+        },
+    };
+
     /// `--dwm-write-penalty P`: DWM write/read energy ratio.
     pub static DWM_WRITE_PENALTY: ParamSpec = ParamSpec {
         flag: "--dwm-write-penalty",
@@ -660,6 +736,17 @@ static GEN_CAMPAIGN_PARAMS: [&ParamSpec; 10] = [
 /// The parameter set of `trace-campaign`: sized by its `--trace` files (not
 /// `--quick`), plus the shared SM-count and seeding knobs.
 static TRACE_CAMPAIGN_PARAMS: [&ParamSpec; 3] = [&p::TRACE, &p::SM_COUNT, &p::PER_POINT_SEEDS];
+
+/// The parameter set of `interconnect`: the SM count is an axis (contention
+/// needs many SMs), plus the topology selection and link provisioning.
+static INTERCONNECT_PARAMS: [&ParamSpec; 6] = [
+    &p::QUICK,
+    &p::SM_COUNTS,
+    &p::PER_POINT_SEEDS,
+    &p::TOPOLOGY,
+    &p::LINK_WIDTH,
+    &p::QUEUE_DEPTH,
+];
 
 // ---------------------------------------------------------------------------
 // Campaign definitions
@@ -1209,6 +1296,47 @@ fn render_trace_campaign(results: &[SweepResults], ctx: &RenderContext) -> Resul
     Ok(())
 }
 
+fn interconnect_preamble(specs: &[SweepSpec], ctx: &RenderContext) -> String {
+    let params = ctx.params.interconnect_params();
+    let topologies: Vec<&str> = params.topologies.iter().map(|t| t.label()).collect();
+    format!(
+        "interconnect campaign: {} ({} spec(s)), link width {} B/cycle, queue depth {}, \
+         LTRF on configuration #6 across SMs {:?}",
+        topologies.join(" vs "),
+        specs.len(),
+        params.link_width,
+        params.queue_depth,
+        params.sm_counts
+    )
+}
+
+fn render_interconnect(results: &[SweepResults], ctx: &RenderContext) -> Result<(), String> {
+    let params = ctx.params.interconnect_params();
+    println!("\nNetwork contention by topology (means over workloads, LTRF on configuration #6):");
+    println!(
+        "  {:<10} {:<5} {:>9} {:>15} {:>13}",
+        "topology", "SMs", "IPC", "L2 queue wait", "NoC latency"
+    );
+    for (index, (topology, campaign)) in params.topologies.iter().zip(results).enumerate() {
+        let aggregates = ctx.aggregates_for(index, campaign);
+        for (sm_count, _, means) in aggregates.means(&params.sm_counts, &[Organization::Ltrf]) {
+            println!(
+                "  {:<10} {:<5} {:>9.3} {:>15.0} {:>13.2}",
+                topology.label(),
+                sm_count,
+                means.ipc,
+                means.l2_queue_wait,
+                means.noc_latency
+            );
+        }
+    }
+    println!(
+        "  (single-SM rows never touch the shared network: the contention-free floor; \
+         the extended CSV columns carry the per-point stats)"
+    );
+    Ok(())
+}
+
 // ---------------------------------------------------------------------------
 // The registry
 // ---------------------------------------------------------------------------
@@ -1217,8 +1345,8 @@ fn render_trace_campaign(results: &[SweepResults], ctx: &RenderContext) -> Resul
 /// simulation-backed paper artifact (Figure 10 is `power`'s
 /// configuration-#7 slice, reachable through the `fig10` alias) plus the
 /// `repro` meta-campaign and the beyond-paper
-/// `gpu-scale`/`gen-campaign`/`trace-campaign` studies.
-static CAMPAIGNS: [Campaign; 11] = [
+/// `gpu-scale`/`gen-campaign`/`trace-campaign`/`interconnect` studies.
+static CAMPAIGNS: [Campaign; 12] = [
     Campaign {
         name: "fig9",
         aliases: &["figure9"],
@@ -1421,6 +1549,24 @@ static CAMPAIGNS: [Campaign; 11] = [
         render: render_trace_campaign,
         fail_on_point_failure: false,
     },
+    Campaign {
+        name: "interconnect",
+        aliases: &["noc"],
+        kind: ArtifactKind::BeyondPaper,
+        paper_ref: "—",
+        summary: "SM<->L2 network topologies under shared-memory contention",
+        artifacts: "interconnect-<topology>.{csv,json} (one per swept topology)",
+        params: &INTERCONNECT_PARAMS,
+        build: |params| {
+            Ok(campaigns::interconnect_specs(
+                &params.workload_names(),
+                &params.interconnect_params(),
+            ))
+        },
+        preamble: interconnect_preamble,
+        render: render_interconnect,
+        fail_on_point_failure: false,
+    },
 ];
 
 /// The campaign registry: lookup by name or alias, nearest-name
@@ -1588,6 +1734,12 @@ pub fn describe_text(campaign: &Campaign) -> String {
         "  csv columns: {}\n",
         crate::report::CSV_COLUMNS.join(", ")
     ));
+    if campaign.name == "interconnect" {
+        out.push_str(&format!(
+            "  extra csv columns: {}\n",
+            crate::report::INTERCONNECT_CSV_COLUMNS.join(", ")
+        ));
+    }
     out
 }
 
@@ -1647,7 +1799,7 @@ mod tests {
     #[test]
     fn every_campaign_is_found_by_name_and_alias() {
         let registry = registry();
-        assert_eq!(registry.campaigns().len(), 11);
+        assert_eq!(registry.campaigns().len(), 12);
         for campaign in registry.campaigns() {
             assert!(std::ptr::eq(
                 registry.find(campaign.name).expect("found by name"),
@@ -1671,6 +1823,11 @@ mod tests {
         names.dedup();
         assert_eq!(names.len(), len, "duplicate campaign name or alias");
         assert!(registry.find("fig10").is_some(), "fig10 reaches power");
+        assert_eq!(
+            registry.find("noc").unwrap().name,
+            "interconnect",
+            "noc reaches interconnect"
+        );
     }
 
     #[test]
@@ -1700,20 +1857,37 @@ mod tests {
     fn registry_scoping_matches_the_historical_tables() {
         let registry = registry();
         let sm_counts = registry.param("--sm-counts").unwrap();
-        // --sm-counts belongs to gpu-scale alone.
+        // --sm-counts belongs to the SM-axis campaigns.
         for campaign in registry.campaigns() {
-            assert_eq!(campaign.accepts(sm_counts), campaign.name == "gpu-scale");
+            assert_eq!(
+                campaign.accepts(sm_counts),
+                campaign.name == "gpu-scale" || campaign.name == "interconnect"
+            );
         }
         let message = registry.scope_error(registry.find("fig9").unwrap(), sm_counts);
         assert!(message.contains("--sm-counts"), "{message}");
         assert!(message.contains("gpu-scale"), "{message}");
         assert!(message.contains("--sm-count N"), "hint present: {message}");
 
-        // --sm-count applies everywhere except gpu-scale.
+        // --sm-count applies everywhere except the SM-axis campaigns.
         let sm_count = registry.param("--sm-count").unwrap();
         for campaign in registry.campaigns() {
-            assert_eq!(campaign.accepts(sm_count), campaign.name != "gpu-scale");
+            assert_eq!(
+                campaign.accepts(sm_count),
+                campaign.name != "gpu-scale" && campaign.name != "interconnect"
+            );
         }
+
+        // Network knobs belong to interconnect alone.
+        let topology = registry.param("--topology").unwrap();
+        assert_eq!(registry.campaigns_accepting(topology), ["interconnect"]);
+        assert!(registry
+            .scope_error(registry.find("gpu-scale").unwrap(), topology)
+            .contains("sweep interconnect"));
+        let link_width = registry.param("--link-width").unwrap();
+        assert_eq!(registry.campaigns_accepting(link_width), ["interconnect"]);
+        let queue_depth = registry.param("--queue-depth").unwrap();
+        assert_eq!(registry.campaigns_accepting(queue_depth), ["interconnect"]);
 
         // Generator flags belong to gen-campaign alone.
         let max_regs = registry.param("--max-regs").unwrap();
@@ -1773,6 +1947,30 @@ mod tests {
 
         let power = registry().find("power").unwrap().specs(&params).unwrap();
         assert_eq!(power[0].name, "power");
+
+        let interconnect = registry()
+            .find("interconnect")
+            .unwrap()
+            .specs(&params)
+            .unwrap();
+        assert_eq!(
+            interconnect,
+            campaigns::interconnect_specs(&params.workload_names(), &params.interconnect_params()),
+            "registry interconnect is byte-for-byte the canonical constructor"
+        );
+        assert_eq!(interconnect.len(), 2, "ideal vs crossbar by default");
+        let narrowed = CampaignParams {
+            quick: true,
+            topology: Some(Topology::Mesh2D),
+            ..CampaignParams::default()
+        };
+        let mesh = registry()
+            .find("interconnect")
+            .unwrap()
+            .specs(&narrowed)
+            .unwrap();
+        assert_eq!(mesh.len(), 1, "--topology narrows the axis to one spec");
+        assert_eq!(mesh[0].name, "interconnect-mesh");
 
         // Parameter validation surfaces as friendly errors, not panics.
         let bad = CampaignParams {
@@ -1834,6 +2032,31 @@ mod tests {
             .unwrap_err();
         assert!(missing_path.contains("--trace"), "{missing_path}");
 
+        registry
+            .param("--topology")
+            .unwrap()
+            .apply(&mut params, Some("mesh"))
+            .unwrap();
+        assert_eq!(params.topology, Some(Topology::Mesh2D));
+        let bad_topology = registry
+            .param("--topology")
+            .unwrap()
+            .apply(&mut params, Some("torus"))
+            .unwrap_err();
+        assert!(bad_topology.contains("--topology"), "{bad_topology}");
+        registry
+            .param("--link-width")
+            .unwrap()
+            .apply(&mut params, Some("0"))
+            .unwrap();
+        assert_eq!(params.link_width, Some(1), "width clamps to 1");
+        registry
+            .param("--queue-depth")
+            .unwrap()
+            .apply(&mut params, Some("4"))
+            .unwrap();
+        assert_eq!(params.queue_depth, Some(4));
+
         let missing = registry.param("--threads");
         assert!(
             missing.is_none(),
@@ -1888,7 +2111,7 @@ mod tests {
         }
         let parsed = serde::Value::parse_json(&list_json()).expect("list --json parses");
         match parsed {
-            serde::Value::Array(items) => assert_eq!(items.len(), 11),
+            serde::Value::Array(items) => assert_eq!(items.len(), 12),
             other => panic!("expected array, got {other:?}"),
         }
     }

@@ -338,7 +338,9 @@ fn execute(
     let threads = runtime.threads.unwrap_or_else(ltrf_sweep::default_threads);
     let session = CampaignSession::new(spec, &executor);
 
-    let csv = StreamingCsvWriter::create(&csv_path)
+    // Interconnect specs carry the extended network columns; everything
+    // else keeps the frozen standard schema byte for byte.
+    let csv = StreamingCsvWriter::create_with_schema(&csv_path, report::CsvSchema::for_spec(spec))
         .map_err(|e| format!("creating {}: {e}", csv_path.display()))?;
     let agg = AggregateSink::new();
     let sinks: [&dyn RecordSink; 2] = [&csv, &agg];
@@ -621,6 +623,22 @@ mod tests {
                 &["--trace", "examples/traces/straight_line.trace"],
             ),
             ("trace-campaign", &[]),
+            ("interconnect", &["--quick"]),
+            ("interconnect", &["--quick", "--topology", "mesh"]),
+            (
+                "interconnect",
+                &[
+                    "--quick",
+                    "--topology",
+                    "crossbar",
+                    "--link-width",
+                    "16",
+                    "--queue-depth",
+                    "4",
+                    "--sm-counts",
+                    "1,4,16",
+                ],
+            ),
         ];
         for (name, args) in invocations {
             let campaign = registry.find(name).expect(name);
@@ -652,6 +670,12 @@ mod tests {
 
         let message = parse_invocation(fig9, &strings(&["--trace", "a.trace"])).unwrap_err();
         assert!(message.contains("trace-campaign"), "{message}");
+
+        let message = parse_invocation(fig9, &strings(&["--topology", "mesh"])).unwrap_err();
+        assert!(message.contains("sweep interconnect"), "{message}");
+        let interconnect = registry.find("interconnect").unwrap();
+        let message = parse_invocation(interconnect, &strings(&["--sm-count", "4"])).unwrap_err();
+        assert!(message.contains("--sm-counts"), "{message}");
 
         let message = parse_invocation(fig9, &strings(&["--frobnicate"])).unwrap_err();
         assert!(message.contains("unknown option"), "{message}");

@@ -21,6 +21,7 @@
 //! | [`power_sweep_spec`] | §6.4 power across all design points | `sweep power` | `fig10` binary (the #7 slice) |
 //! | [`gen_campaign_spec`] | beyond-paper generated populations | `sweep gen-campaign` | `gen_campaign` binary |
 //! | [`trace_campaign_spec`] | beyond-paper trace-driven workloads | `sweep trace-campaign` | `trace_campaign` binary |
+//! | [`interconnect_specs`] | beyond-paper SM↔L2 network study | `sweep interconnect` | `interconnect` binary |
 //! | [`repro_specs`] | the full artifact set | `sweep repro` | — |
 //!
 //! Cache identity is per *point*, not per campaign: a point's key material
@@ -33,6 +34,7 @@
 //! 100%. See `REPRODUCING.md` for the artifact atlas.
 
 use ltrf_core::Organization;
+use ltrf_sim::{InterconnectConfig, Topology};
 use ltrf_tech::PowerParams;
 use ltrf_trace::TraceWorkloadId;
 use ltrf_workloads::GeneratorConfig;
@@ -496,6 +498,104 @@ pub fn trace_campaign_spec(params: &TraceCampaignParams) -> SweepSpec {
         .build()
 }
 
+/// Parameters of the interconnect-topology campaign.
+#[derive(Debug, Clone, PartialEq)]
+pub struct InterconnectCampaignParams {
+    /// The topologies the campaign compares, one spec (and one report file)
+    /// per entry, in axis order.
+    pub topologies: Vec<Topology>,
+    /// Link width in bytes per cycle, shared by every non-ideal topology
+    /// swept (the ideal network ignores it).
+    pub link_width: u64,
+    /// Bounded per-link queue depth, shared by every non-ideal topology
+    /// swept (the ideal network ignores it).
+    pub queue_depth: usize,
+    /// The SM-count axis: contention (and therefore topology divergence)
+    /// only appears once enough SMs share the L2, so the default axis
+    /// reaches 16.
+    pub sm_counts: Vec<usize>,
+    /// Simulation seeding policy.
+    pub seed_mode: SeedMode,
+}
+
+impl Default for InterconnectCampaignParams {
+    fn default() -> Self {
+        let network = InterconnectConfig::default();
+        InterconnectCampaignParams {
+            // The headline comparison: the contention-free reference against
+            // the single-stage crossbar. `--topology T` narrows to one.
+            topologies: vec![Topology::Ideal, Topology::Crossbar],
+            link_width: network.link_width,
+            queue_depth: network.queue_depth,
+            sm_counts: vec![1, 4, 16],
+            seed_mode: SeedMode::Fixed(CAMPAIGN_SEED),
+        }
+    }
+}
+
+impl InterconnectCampaignParams {
+    /// The network configuration of one swept topology.
+    #[must_use]
+    pub fn network(&self, topology: Topology) -> InterconnectConfig {
+        let mut config = InterconnectConfig::with_topology(topology);
+        config.link_width = self.link_width;
+        config.queue_depth = self.queue_depth;
+        config
+    }
+
+    /// The campaign (and report file) name of one swept topology:
+    /// `interconnect-<topology>`, suffixed with the link width and queue
+    /// depth when they differ from the defaults so differently provisioned
+    /// sweeps never clobber each other's reports.
+    #[must_use]
+    pub fn spec_name(&self, topology: Topology) -> String {
+        let defaults = InterconnectConfig::default();
+        let mut name = format!("interconnect-{}", topology.label());
+        if self.link_width != defaults.link_width {
+            name.push_str(&format!("-w{}", self.link_width));
+        }
+        if self.queue_depth != defaults.queue_depth {
+            name.push_str(&format!("-q{}", self.queue_depth));
+        }
+        name
+    }
+}
+
+/// The interconnect-topology campaign: LTRF × the given workloads on
+/// configuration #6 across the SM-count axis, un-normalized, one spec per
+/// selected topology — exactly what `sweep interconnect` runs and what
+/// `ltrf-bench`'s `interconnect` experiment aggregates. Single-SM points
+/// never touch the shared network and serve as the contention-free floor of
+/// every topology's curve.
+///
+/// The ideal-topology spec at the default link provisioning carries the
+/// default [`InterconnectConfig`], which is elided from cache-key material —
+/// its points share cache identity with any historical campaign that ran the
+/// same experiment. Every other topology (or any non-default link
+/// width/queue depth) is new key material, so switching `--topology` misses
+/// the cache 100% by construction.
+#[must_use]
+pub fn interconnect_specs<S: Into<String> + Clone>(
+    workloads: &[S],
+    params: &InterconnectCampaignParams,
+) -> Vec<SweepSpec> {
+    params
+        .topologies
+        .iter()
+        .map(|&topology| {
+            SweepSpec::builder(params.spec_name(topology))
+                .workloads(workloads.iter().cloned())
+                .organizations([Organization::Ltrf])
+                .config_ids([6])
+                .sm_counts(params.sm_counts.iter().copied())
+                .seed_mode(params.seed_mode)
+                .normalize(false)
+                .interconnect(params.network(topology))
+                .build()
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -669,6 +769,58 @@ mod tests {
             ..params.clone()
         };
         assert!(multi_sm.name().ends_with("-sm2"), "{}", multi_sm.name());
+    }
+
+    #[test]
+    fn interconnect_specs_sweep_one_spec_per_topology() {
+        let params = InterconnectCampaignParams::default();
+        let specs = interconnect_specs(&["hotspot", "btree"], &params);
+        assert_eq!(specs.len(), 2, "one spec per topology");
+        assert_eq!(specs[0].name, "interconnect-ideal");
+        assert_eq!(specs[1].name, "interconnect-crossbar");
+        for spec in &specs {
+            assert_eq!(spec.points.len(), 2 * params.sm_counts.len());
+            assert!(!spec.normalize);
+            assert!(spec
+                .points
+                .iter()
+                .all(|p| p.config.organization == Organization::Ltrf));
+        }
+        // The ideal spec at default provisioning carries the default
+        // network (elided from cache keys); the crossbar spec's identity
+        // differs on every point.
+        assert!(specs[0]
+            .points
+            .iter()
+            .all(|p| p.config.interconnect == InterconnectConfig::default()));
+        let ideal_materials: std::collections::BTreeSet<String> = specs[0]
+            .points
+            .iter()
+            .map(|p| crate::cache::point_key(&specs[0], p).material)
+            .collect();
+        assert!(specs[1]
+            .points
+            .iter()
+            .all(|p| !ideal_materials.contains(&crate::cache::point_key(&specs[1], p).material)));
+
+        // Non-default provisioning fingerprints the report names.
+        let provisioned = InterconnectCampaignParams {
+            topologies: vec![Topology::Mesh2D],
+            link_width: 16,
+            queue_depth: 4,
+            ..InterconnectCampaignParams::default()
+        };
+        assert_eq!(
+            provisioned.spec_name(Topology::Mesh2D),
+            "interconnect-mesh-w16-q4"
+        );
+        let mesh = interconnect_specs(&["hotspot"], &provisioned);
+        assert_eq!(mesh.len(), 1);
+        assert!(mesh[0]
+            .points
+            .iter()
+            .all(|p| p.config.interconnect.link_width == 16
+                && p.config.interconnect.queue_depth == 4));
     }
 
     #[test]

@@ -179,6 +179,12 @@ pub struct PointMeans {
     pub l2_hit_rate: f64,
     /// Mean DRAM row-buffer hit rate.
     pub dram_row_hit_rate: f64,
+    /// Mean cycles requests spent queued behind busy shared-L2 slices
+    /// (zero for single-SM points, whose private L2 never queues).
+    pub l2_queue_wait: f64,
+    /// Mean SM↔L2 network transport latency per routed message (zero under
+    /// the `Ideal` topology and for single-SM points).
+    pub noc_latency: f64,
 }
 
 impl PointMeans {
@@ -235,6 +241,8 @@ pub struct PointMeansAcc {
     normalized_ipc: f64,
     l2_hit_rate: f64,
     dram_row_hit_rate: f64,
+    l2_queue_wait: f64,
+    noc_latency: f64,
 }
 
 impl PointMeansAcc {
@@ -245,6 +253,8 @@ impl PointMeansAcc {
         self.normalized_ipc += data.normalized_ipc.unwrap_or(0.0);
         self.l2_hit_rate += data.result.stats.memory.llc.hit_rate();
         self.dram_row_hit_rate += data.result.stats.memory.dram.row_hit_rate();
+        self.l2_queue_wait += data.result.stats.memory.l2_queue_wait_cycles as f64;
+        self.noc_latency += data.result.stats.memory.noc.mean_latency();
     }
 
     /// Number of points folded in so far.
@@ -266,6 +276,8 @@ impl PointMeansAcc {
             normalized_ipc: self.normalized_ipc / n,
             l2_hit_rate: self.l2_hit_rate / n,
             dram_row_hit_rate: self.dram_row_hit_rate / n,
+            l2_queue_wait: self.l2_queue_wait / n,
+            noc_latency: self.noc_latency / n,
         })
     }
 }

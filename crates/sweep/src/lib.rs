@@ -107,7 +107,7 @@ pub const CAMPAIGN_SEED: u64 = 0x17F2_2018;
 
 pub use api::{registry, ArtifactKind, Campaign, CampaignParams, CampaignRegistry, ParamSpec};
 pub use cache::{point_key, PointKey, ResultCache, CACHE_SCHEMA_VERSION, ENGINE_FINGERPRINT};
-pub use campaigns::{GenCampaignParams, TraceCampaignParams};
+pub use campaigns::{GenCampaignParams, InterconnectCampaignParams, TraceCampaignParams};
 pub use executor::{
     event_channel, parallel_points, relative_ipc_series, run_sweep, CampaignEvent,
     CampaignObserver, CampaignSession, CampaignTotals, EventLog, EventSender, ExecutorOptions,

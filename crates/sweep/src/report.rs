@@ -67,6 +67,103 @@ pub const CSV_COLUMNS: [&str; 23] = [
     "error",
 ];
 
+/// Extra columns appended by [`CsvSchema::Interconnect`], after the 23
+/// standard columns: the network configuration of the point and the
+/// NoC/slice-contention statistics of its run. Multi-SM points fill the
+/// stats from the shared memory; single-SM points (which never touch it)
+/// report zeros.
+pub const INTERCONNECT_CSV_COLUMNS: [&str; 10] = [
+    "topology",
+    "link_width",
+    "queue_depth",
+    "interleave",
+    "l2_queue_wait_cycles",
+    "l2_slice_wait_min",
+    "l2_slice_wait_max",
+    "noc_mean_latency",
+    "noc_max_queue_wait",
+    "noc_max_link_occupancy",
+];
+
+/// Which column set a campaign's CSV carries.
+///
+/// Every campaign has written exactly [`CSV_COLUMNS`] since the schema was
+/// frozen (the fig9/fig12 golden fixtures pin those bytes), so extension
+/// happens by *appending* columns behind an explicit schema choice rather
+/// than editing the shared list. `Standard` is byte-identical to the
+/// historical output; `Interconnect` appends [`INTERCONNECT_CSV_COLUMNS`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CsvSchema {
+    /// The frozen 23-column schema every pre-interconnect campaign writes.
+    #[default]
+    Standard,
+    /// Standard plus the interconnect configuration/stats columns (the
+    /// `sweep interconnect` campaign).
+    Interconnect,
+}
+
+impl CsvSchema {
+    /// The schema a spec's CSV should be written with: `interconnect`
+    /// campaign specs (by name) and any spec whose points carry a
+    /// non-default network get the extended columns.
+    #[must_use]
+    pub fn for_spec(spec: &crate::spec::SweepSpec) -> Self {
+        let non_default = spec
+            .points
+            .iter()
+            .any(|p| p.config.interconnect != ltrf_sim::InterconnectConfig::default());
+        if spec.name.starts_with("interconnect") || non_default {
+            CsvSchema::Interconnect
+        } else {
+            CsvSchema::Standard
+        }
+    }
+
+    /// The header row for this schema (no trailing newline).
+    #[must_use]
+    pub fn header(self) -> String {
+        match self {
+            CsvSchema::Standard => CSV_COLUMNS.join(","),
+            CsvSchema::Interconnect => {
+                let mut header = CSV_COLUMNS.join(",");
+                header.push(',');
+                header.push_str(&INTERCONNECT_CSV_COLUMNS.join(","));
+                header
+            }
+        }
+    }
+
+    /// Renders one record as its CSV row under this schema (no trailing
+    /// newline).
+    #[must_use]
+    pub fn row(self, record: &PointRecord) -> String {
+        let mut row = csv_row(record);
+        if self == CsvSchema::Interconnect {
+            let icn = &record.point.config.interconnect;
+            let data = record.outcome.data();
+            let memory = data.map(|d| d.result.stats.memory);
+            let uint = |v: Option<u64>| v.map(|u| u.to_string()).unwrap_or_default();
+            let extra = [
+                icn.topology.label().to_string(),
+                icn.link_width.to_string(),
+                icn.queue_depth.to_string(),
+                icn.interleave.label().to_string(),
+                uint(memory.map(|m| m.l2_queue_wait_cycles)),
+                uint(memory.map(|m| m.l2_slice_wait_min)),
+                uint(memory.map(|m| m.l2_slice_wait_max)),
+                memory
+                    .map(|m| format!("{:.6}", m.noc.mean_latency()))
+                    .unwrap_or_default(),
+                uint(memory.map(|m| m.noc.max_queue_wait)),
+                uint(memory.map(|m| m.noc.max_link_occupancy)),
+            ];
+            row.push(',');
+            row.push_str(&extra.join(","));
+        }
+        row
+    }
+}
+
 fn memory_label(memory: MemorySelection) -> &'static str {
     match memory {
         MemorySelection::WorkloadDefault => "default",
@@ -177,5 +274,46 @@ mod tests {
         assert_eq!(csv_escape("plain"), "plain");
         assert_eq!(csv_escape("a,b"), "\"a,b\"");
         assert_eq!(csv_escape("say \"hi\""), "\"say \"\"hi\"\"\"");
+    }
+
+    #[test]
+    fn standard_schema_is_byte_identical_to_the_frozen_header() {
+        // The fig9/fig12 golden fixtures pin these bytes; Standard must
+        // never drift.
+        assert_eq!(CsvSchema::Standard.header(), csv_header());
+        assert_eq!(csv_header(), CSV_COLUMNS.join(","));
+    }
+
+    #[test]
+    fn interconnect_schema_appends_without_touching_standard_columns() {
+        let header = CsvSchema::Interconnect.header();
+        assert!(header.starts_with(&csv_header()));
+        let appended = header.strip_prefix(&csv_header()).unwrap();
+        assert_eq!(appended, format!(",{}", INTERCONNECT_CSV_COLUMNS.join(",")));
+        assert_eq!(
+            header.split(',').count(),
+            CSV_COLUMNS.len() + INTERCONNECT_CSV_COLUMNS.len()
+        );
+    }
+
+    #[test]
+    fn schema_selection_follows_name_and_network() {
+        use crate::spec::SweepSpec;
+        use ltrf_core::Organization;
+        use ltrf_sim::{InterconnectConfig, Topology};
+        let standard = SweepSpec::builder("fig9")
+            .workloads(["hotspot"])
+            .organizations([Organization::Ltrf])
+            .build();
+        assert_eq!(CsvSchema::for_spec(&standard), CsvSchema::Standard);
+        let by_name = SweepSpec::builder("interconnect-ideal")
+            .workloads(["hotspot"])
+            .build();
+        assert_eq!(CsvSchema::for_spec(&by_name), CsvSchema::Interconnect);
+        let by_network = SweepSpec::builder("custom")
+            .workloads(["hotspot"])
+            .interconnect(InterconnectConfig::with_topology(Topology::Mesh2D))
+            .build();
+        assert_eq!(CsvSchema::for_spec(&by_network), CsvSchema::Interconnect);
     }
 }

@@ -900,7 +900,8 @@ fn run_session(state: &Arc<ServerState>, session: &Arc<Session>) {
                 cancel: Some(Arc::clone(&session.cancel)),
             };
             let csv_path = dir.join(format!("{}.csv", spec.name));
-            let csv = match StreamingCsvWriter::create(&csv_path) {
+            let schema = report::CsvSchema::for_spec(spec);
+            let csv = match StreamingCsvWriter::create_with_schema(&csv_path, schema) {
                 Ok(csv) => csv,
                 Err(e) => {
                     infrastructure_error =

@@ -16,7 +16,7 @@
 use serde::{Deserialize, Serialize};
 
 use ltrf_core::{ExperimentConfig, Organization};
-use ltrf_sim::MemoryBehavior;
+use ltrf_sim::{InterconnectConfig, MemoryBehavior};
 use ltrf_tech::PowerParams;
 use ltrf_trace::TraceWorkloadId;
 use ltrf_workloads::{GeneratorConfig, Workload, WorkloadGenerator};
@@ -167,6 +167,7 @@ pub struct SweepSpecBuilder {
     sm_counts: Vec<usize>,
     memory: Vec<MemorySelection>,
     power_params: PowerParams,
+    interconnect: InterconnectConfig,
 }
 
 impl SweepSpecBuilder {
@@ -188,6 +189,7 @@ impl SweepSpecBuilder {
             sm_counts: vec![1],
             memory: vec![MemorySelection::WorkloadDefault],
             power_params: PowerParams::default(),
+            interconnect: InterconnectConfig::default(),
         }
     }
 
@@ -341,6 +343,18 @@ impl SweepSpecBuilder {
         self
     }
 
+    /// Sets the SM↔L2 interconnect configuration every point runs under
+    /// (the `sweep interconnect` knobs; defaults to the `Ideal` topology).
+    /// Campaign-wide like [`Self::power_params`]: the configuration threads
+    /// into every point's [`ExperimentConfig`], where any non-default field
+    /// becomes cache-key material (the default is elided, keeping
+    /// pre-interconnect keys stable).
+    #[must_use]
+    pub fn interconnect(mut self, interconnect: InterconnectConfig) -> Self {
+        self.interconnect = interconnect;
+        self
+    }
+
     /// Enumerates the cross-product into a spec.
     ///
     /// # Panics
@@ -405,7 +419,8 @@ impl SweepSpecBuilder {
                                                 .with_registers_per_interval(rpi)
                                                 .with_active_warps(warps)
                                                 .with_sm_count(sm_count)
-                                                .with_power_params(self.power_params);
+                                                .with_power_params(self.power_params)
+                                                .with_interconnect(self.interconnect);
                                         config.latency_factor_override = latency;
                                         points.push(SweepPoint {
                                             workload: workload.clone(),
@@ -501,6 +516,33 @@ mod tests {
             spec.points[0].config.cache_key_material(),
             default_spec.points[0].config.cache_key_material()
         );
+    }
+
+    #[test]
+    fn interconnect_threads_into_every_point() {
+        use ltrf_sim::Topology;
+        let icn = InterconnectConfig::with_topology(Topology::Mesh2D);
+        let spec = SweepSpec::builder("noc")
+            .workloads(["hotspot"])
+            .sm_counts([1, 16])
+            .interconnect(icn)
+            .build();
+        assert!(spec.points.iter().all(|p| p.config.interconnect == icn));
+        // A non-default topology changes every point's cache identity...
+        let default_spec = SweepSpec::builder("noc")
+            .workloads(["hotspot"])
+            .sm_counts([1, 16])
+            .build();
+        assert_ne!(
+            spec.points[0].config.cache_key_material(),
+            default_spec.points[0].config.cache_key_material()
+        );
+        // ...while the default (Ideal) setting leaves key material exactly
+        // as it was before the interconnect axis existed.
+        assert!(!default_spec.points[0]
+            .config
+            .cache_key_material()
+            .contains("interconnect"));
     }
 
     #[test]

@@ -29,6 +29,7 @@ use crate::report;
 
 struct CsvState {
     writer: BufWriter<File>,
+    schema: report::CsvSchema,
     /// The next spec index to write (rows before it are already on disk).
     next: usize,
     /// Rendered rows that completed ahead of `next`, keyed by spec index.
@@ -56,12 +57,27 @@ impl StreamingCsvWriter {
     ///
     /// Returns the underlying I/O error.
     pub fn create(path: impl AsRef<Path>) -> io::Result<Self> {
+        StreamingCsvWriter::create_with_schema(path, report::CsvSchema::Standard)
+    }
+
+    /// [`Self::create`] with an explicit column schema (the `sweep
+    /// interconnect` campaign appends network columns; everything else
+    /// writes the frozen standard set).
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying I/O error.
+    pub fn create_with_schema(
+        path: impl AsRef<Path>,
+        schema: report::CsvSchema,
+    ) -> io::Result<Self> {
         let mut writer = BufWriter::new(File::create(path)?);
-        writer.write_all(report::csv_header().as_bytes())?;
+        writer.write_all(schema.header().as_bytes())?;
         writer.write_all(b"\n")?;
         Ok(StreamingCsvWriter {
             state: Mutex::new(CsvState {
                 writer,
+                schema,
                 next: 0,
                 pending: BTreeMap::new(),
                 deferred: None,
@@ -86,8 +102,8 @@ impl StreamingCsvWriter {
 
 impl RecordSink for StreamingCsvWriter {
     fn on_record(&self, index: usize, record: &PointRecord) {
-        let row = report::csv_row(record);
         let mut state = self.state.lock().expect("csv writer poisoned");
+        let row = state.schema.row(record);
         state.pending.insert(index, row);
         // Drain every row that is now consecutive from `next`.
         while let Some(row) = {
